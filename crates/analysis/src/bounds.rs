@@ -1,0 +1,81 @@
+//! Transfer-time lower bounds and derived asymptotic predictions.
+
+use crate::equations::{tau_multi_intra_sync, total_seconds};
+use crate::urn::expected_concurrency_asymptotic;
+use crate::ModelParams;
+
+/// Lower bound on total I/O time with a single input disk: every block must
+/// be transferred, so `k·B·T` (seconds).
+#[must_use]
+pub fn single_disk_lower_bound_secs(p: &ModelParams, k: u32) -> f64 {
+    p.total_blocks(k) as f64 * p.transfer_ms / 1000.0
+}
+
+/// Lower bound with `D` input disks: the transfer work divides perfectly,
+/// `k·B·T / D` (seconds). Inter-run prefetching approaches this as the
+/// cache (and `N`) grow.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+#[must_use]
+pub fn multi_disk_lower_bound_secs(p: &ModelParams, k: u32, d: u32) -> f64 {
+    assert!(d > 0, "need at least one disk");
+    single_disk_lower_bound_secs(p, k) / f64::from(d)
+}
+
+/// The paper's asymptotic estimate for **unsynchronized intra-run**
+/// prefetching on `D` disks: the synchronized time of eq. (4) divided by
+/// the urn-game concurrency `√(πD/2) − 1/3` (seconds).
+///
+/// Valid for large `N`; the paper applies it at `N = 30` and notes the
+/// simulation has not yet reached the asymptote there.
+#[must_use]
+pub fn intra_unsync_asymptotic_secs(p: &ModelParams, k: u32, d: u32, n: u32) -> f64 {
+    let sync = total_seconds(p, k, tau_multi_intra_sync(p, k, d, n));
+    sync / expected_concurrency_asymptotic(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::paper()
+    }
+
+    #[test]
+    fn paper_single_disk_bounds() {
+        // 25,000 × 2.16 ms = 54.0 s; 50,000 × 2.16 ms = 108.0 s.
+        assert!((single_disk_lower_bound_secs(&p(), 25) - 54.0).abs() < 1e-9);
+        assert!((single_disk_lower_bound_secs(&p(), 50) - 108.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_multi_disk_bounds() {
+        // k=25, D=5: 10.8 s; k=50, D=5: 21.6 s; k=50, D=10: 10.8 s.
+        assert!((multi_disk_lower_bound_secs(&p(), 25, 5) - 10.8).abs() < 1e-9);
+        assert!((multi_disk_lower_bound_secs(&p(), 50, 5) - 21.6).abs() < 1e-9);
+        assert!((multi_disk_lower_bound_secs(&p(), 50, 10) - 10.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_unsync_asymptotics() {
+        // k=25, D=5, N=30: 61.6 / 2.47 ≈ 24.9 s.
+        let v = intra_unsync_asymptotic_secs(&p(), 25, 5, 30);
+        assert!((v - 24.9).abs() < 0.2, "v={v}");
+        // k=50, D=10, N=30: 123.2 / 3.63 ≈ 33.9 s.
+        let v2 = intra_unsync_asymptotic_secs(&p(), 50, 10, 30);
+        assert!((v2 - 33.9).abs() < 0.3, "v2={v2}");
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        // The unsync asymptotic must still exceed the D-disk lower bound.
+        for (k, d) in [(25u32, 5u32), (50, 5), (50, 10)] {
+            let asym = intra_unsync_asymptotic_secs(&p(), k, d, 30);
+            let lb = multi_disk_lower_bound_secs(&p(), k, d);
+            assert!(asym > lb, "k={k} d={d}: {asym} <= {lb}");
+        }
+    }
+}

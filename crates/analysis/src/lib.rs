@@ -1,0 +1,46 @@
+//! Closed-form performance models from Pai & Varman (ICDE 1992).
+//!
+//! The paper derives simple analytical expressions that predict — exactly
+//! for the no-prefetch/synchronized cases, asymptotically otherwise — the
+//! I/O time of each prefetching strategy. This crate implements all of
+//! them; the simulator test suite and the `validation_table` experiment
+//! compare simulation output against these formulas.
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Kwan–Baer seek-move distribution, `E[x] ≈ k/3` | [`seek`] |
+//! | Eq. (1)–(5): per-block I/O time `τ` for each strategy | [`equations`] |
+//! | Urn-game concurrency of unsynchronized intra-run prefetching | [`urn`] |
+//! | Companion report \[16\]: Markov analysis of cache-admission policies | [`markov`] |
+//! | End-to-end sort accounting (formation + merge, Amdahl view) | [`pipeline`] |
+//! | Transfer-time lower bounds `k·B·T` and `k·B·T/D` | [`bounds`] |
+//!
+//! All times are in **milliseconds** (`f64`), matching the paper's units;
+//! totals are reported in seconds where noted.
+//!
+//! # Examples
+//!
+//! ```
+//! use pm_analysis::{equations, ModelParams};
+//!
+//! // Reproduce the paper's quoted baseline: 25 runs on one disk take
+//! // about 360 seconds without prefetching.
+//! let p = ModelParams::paper();
+//! let tau = equations::tau_single_no_prefetch(&p, 25);
+//! let total = equations::total_seconds(&p, 25, tau);
+//! assert!((total - 360.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod equations;
+pub mod markov;
+pub mod pipeline;
+pub mod seek;
+pub mod urn;
+
+mod params;
+
+pub use params::ModelParams;

@@ -1,0 +1,79 @@
+//! Model inputs.
+
+use pm_disk::DiskSpec;
+
+/// The quantities the paper's formulas are written in terms of.
+///
+/// * `S` — seek time per cylinder (ms)
+/// * `R` — average rotational latency (ms)
+/// * `T` — transfer time per block (ms)
+/// * `m` — run length in cylinders (may be fractional)
+/// * `B` — run length in blocks (the paper uses `B = 1000`)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Seek time per cylinder of distance, in ms (`S`).
+    pub seek_ms_per_cyl: f64,
+    /// Average rotational latency, in ms (`R`).
+    pub avg_latency_ms: f64,
+    /// Transfer time per block, in ms (`T`).
+    pub transfer_ms: f64,
+    /// Run length in cylinders (`m`).
+    pub run_cylinders: f64,
+    /// Run length in blocks (`B`).
+    pub run_blocks: u64,
+}
+
+impl ModelParams {
+    /// The paper's configuration: `S = 0.03 ms`, `R = 8.33 ms`,
+    /// `T = 2.16 ms`, 1000-block runs at 64 blocks/cylinder
+    /// (`m = 15.625`).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::from_spec(&DiskSpec::paper(), 1000)
+    }
+
+    /// Derives model parameters from a disk specification and run length.
+    #[must_use]
+    pub fn from_spec(spec: &DiskSpec, run_blocks: u64) -> Self {
+        ModelParams {
+            seek_ms_per_cyl: spec
+                .params
+                .seek
+                .linear_per_cylinder()
+                .expect("the closed-form analysis requires the paper's linear seek model")
+                .as_millis_f64(),
+            avg_latency_ms: spec.params.avg_rotational_latency().as_millis_f64(),
+            transfer_ms: spec.params.transfer_per_block.as_millis_f64(),
+            run_cylinders: run_blocks as f64 / spec.geometry.blocks_per_cylinder() as f64,
+            run_blocks,
+        }
+    }
+
+    /// Total number of blocks in a `k`-run merge.
+    #[must_use]
+    pub fn total_blocks(&self, k: u32) -> u64 {
+        self.run_blocks * u64::from(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params() {
+        let p = ModelParams::paper();
+        assert!((p.seek_ms_per_cyl - 0.03).abs() < 1e-12);
+        assert!((p.avg_latency_ms - 8.33).abs() < 1e-12);
+        assert!((p.transfer_ms - 2.16).abs() < 1e-12);
+        assert!((p.run_cylinders - 15.625).abs() < 1e-12);
+        assert_eq!(p.run_blocks, 1000);
+    }
+
+    #[test]
+    fn total_blocks() {
+        let p = ModelParams::paper();
+        assert_eq!(p.total_blocks(25), 25_000);
+        assert_eq!(p.total_blocks(50), 50_000);
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end sort accounting: run formation + merge.
+//!
+//! The paper optimizes the merge phase only; run formation (read every
+//! input block, sort in memory, write every run back) brackets how much
+//! that optimization is worth end-to-end — an Amdahl's-law view.
+//!
+//! Run formation is pure streaming: with the unsorted input and the
+//! emitted runs both striped over the `D` input disks, each memory load
+//! costs one mechanical delay per disk for the read and one for the write,
+//! plus the `1/D`-parallel transfers:
+//!
+//! ```text
+//! formation = 2·(kB/D)·T  +  2·k·(S_avg + R_max)
+//! ```
+//!
+//! with `S_avg` a half-stroke seek between the input and run areas and
+//! `R_max = 2R·D/(D+1)` the expected maximum of `D` rotational latencies.
+//! The mechanical term is negligible for the paper's 1000-block runs; the
+//! transfer term is exactly one read plus one write of the data.
+
+use crate::ModelParams;
+
+/// Run-formation time in seconds for `k` memory-load runs over `d` disks.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `k == 0`.
+#[must_use]
+pub fn formation_secs(p: &ModelParams, k: u32, d: u32) -> f64 {
+    assert!(d > 0, "need at least one disk");
+    assert!(k > 0, "need at least one run");
+    let df = f64::from(d);
+    let blocks = p.total_blocks(k) as f64;
+    let transfer_ms = 2.0 * (blocks / df) * p.transfer_ms;
+    // Half-stroke seek between the input region and the run region: the
+    // k runs span k·m/D cylinders per disk; use half of that span.
+    let half_stroke = f64::from(k) * p.run_cylinders / df / 2.0;
+    let r_max = 2.0 * p.avg_latency_ms * df / (df + 1.0);
+    let mechanical_ms = 2.0 * f64::from(k) * (half_stroke * p.seek_ms_per_cyl + r_max);
+    (transfer_ms + mechanical_ms) / 1000.0
+}
+
+/// End-to-end sort time given a measured (or predicted) merge time.
+#[must_use]
+pub fn end_to_end_secs(p: &ModelParams, k: u32, d: u32, merge_secs: f64) -> f64 {
+    formation_secs(p, k, d) + merge_secs
+}
+
+/// Amdahl bound: the largest end-to-end speedup any merge-phase
+/// optimization can deliver over a baseline whose merge takes
+/// `baseline_merge_secs`, with formation unchanged.
+#[must_use]
+pub fn max_end_to_end_speedup(p: &ModelParams, k: u32, d: u32, baseline_merge_secs: f64) -> f64 {
+    let f = formation_secs(p, k, d);
+    (f + baseline_merge_secs) / f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::paper()
+    }
+
+    #[test]
+    fn formation_is_dominated_by_two_transfers() {
+        // k=25, D=5: 2 × 25,000/5 × 2.16 ms = 21.6 s of transfer.
+        let f = formation_secs(&p(), 25, 5);
+        assert!(f > 21.6, "f={f}");
+        assert!(f < 23.0, "mechanical share should be small: {f}");
+    }
+
+    #[test]
+    fn formation_scales_inversely_with_disks() {
+        let f1 = formation_secs(&p(), 25, 1);
+        let f5 = formation_secs(&p(), 25, 5);
+        assert!(f1 > 4.0 * f5, "f1={f1} f5={f5}");
+    }
+
+    #[test]
+    fn end_to_end_adds_phases() {
+        let e = end_to_end_secs(&p(), 25, 5, 16.0);
+        assert!((e - (formation_secs(&p(), 25, 5) + 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_bound_is_consistent() {
+        // With merge fully optimized away, speedup = (f + merge)/f.
+        let bound = max_end_to_end_speedup(&p(), 25, 5, 280.0);
+        let f = formation_secs(&p(), 25, 5);
+        assert!((bound - (f + 280.0) / f).abs() < 1e-12);
+        assert!(bound > 10.0, "merge dominates the baseline sort: {bound}");
+    }
+}

@@ -1,0 +1,105 @@
+//! The Kwan–Baer seek-distance model.
+//!
+//! `k` runs are placed contiguously on one disk and blocks are depleted
+//! from a uniformly random run. The head therefore moves a random number of
+//! *run-widths* between consecutive accesses. With the head equally likely
+//! to sit in any of the `k` runs and the next access equally likely to
+//! target any run, the number of runs moved `x` has
+//!
+//! ```text
+//! P(x = 0) = 1/k
+//! P(x = i) = 2(k − i)/k²,   1 ≤ i ≤ k − 1
+//! E[x]     = k/3 − 1/(3k)  ≈  k/3
+//! ```
+//!
+//! With multiple disks each disk holds `k/D` runs and sees the same model,
+//! so the expected move count per access becomes `k/(3D)`.
+
+/// Probability that an access moves the head exactly `i` run-widths, for a
+/// disk holding `k` runs.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `i >= k`.
+#[must_use]
+pub fn move_pmf(k: u32, i: u32) -> f64 {
+    assert!(k > 0, "need at least one run");
+    assert!(i < k, "move distance must be below k");
+    let kf = f64::from(k);
+    if i == 0 {
+        1.0 / kf
+    } else {
+        2.0 * (kf - f64::from(i)) / (kf * kf)
+    }
+}
+
+/// Exact expected number of run-width moves per access:
+/// `E[x] = k/3 − 1/(3k)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn expected_moves(k: u32) -> f64 {
+    assert!(k > 0, "need at least one run");
+    let kf = f64::from(k);
+    kf / 3.0 - 1.0 / (3.0 * kf)
+}
+
+/// The paper's `k/3` approximation of [`expected_moves`].
+#[must_use]
+pub fn expected_moves_approx(k: u32) -> f64 {
+    f64::from(k) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for k in [1u32, 2, 5, 25, 50, 100] {
+            let total: f64 = (0..k).map(|i| move_pmf(k, i)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "k={k} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_matches_expected_moves() {
+        for k in [2u32, 10, 25, 50] {
+            let mean: f64 = (0..k).map(|i| f64::from(i) * move_pmf(k, i)).sum();
+            assert!(
+                (mean - expected_moves(k)).abs() < 1e-12,
+                "k={k}: pmf mean {mean} vs formula {}",
+                expected_moves(k)
+            );
+        }
+    }
+
+    #[test]
+    fn single_run_never_moves() {
+        assert_eq!(move_pmf(1, 0), 1.0);
+        assert_eq!(expected_moves(1), 0.0);
+    }
+
+    #[test]
+    fn approximation_is_close_for_paper_ks() {
+        for k in [25u32, 50] {
+            let rel = (expected_moves(k) - expected_moves_approx(k)).abs() / expected_moves(k);
+            assert!(rel < 0.002, "k={k}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn paper_values() {
+        // k = 25: E[x] = 25/3 - 1/75 ≈ 8.32
+        assert!((expected_moves(25) - (25.0 / 3.0 - 1.0 / 75.0)).abs() < 1e-12);
+        assert!((expected_moves_approx(25) - 8.3333333).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "below k")]
+    fn pmf_out_of_range() {
+        let _ = move_pmf(5, 5);
+    }
+}

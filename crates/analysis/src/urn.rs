@@ -1,0 +1,146 @@
+//! The urn game: expected disk concurrency of unsynchronized intra-run
+//! prefetching.
+//!
+//! The paper models overlap among `D` disks as a game: balls are thrown
+//! one at a time into `D` initially empty urns, each throw landing in a
+//! uniformly random urn; the round ends when a ball lands in an occupied
+//! urn. The round *length* `L` is the number of occupied urns at that point
+//! (balls thrown minus one). A ball in an empty urn is an I/O successfully
+//! started at a free disk; a ball in an occupied urn is a request that
+//! queues behind another, stalling further issue.
+//!
+//! With `Q_j = P(L ≥ j)`:
+//!
+//! ```text
+//! Q_1 = 1,   Q_j = Q_{j−1} · (D − j + 1)/D          (j ≤ D)
+//! E[L] = Σ_{j=1..D} Q_j  =  √(πD/2) − 1/3 + O(D^{−1/2})
+//! ```
+//!
+//! The significant conclusion is that unsynchronized intra-run prefetching
+//! alone achieves only `O(√D)` concurrency — 2.47 / 3.63 / 5.27 for
+//! `D` = 5 / 10 / 20 by the asymptotic formula — far below the maximum
+//! `D`, which motivates inter-run prefetching.
+
+use std::f64::consts::PI;
+
+/// `P(L ≥ j)` for `j = 0..=D`, i.e. the survival function of the round
+/// length.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+#[must_use]
+pub fn survival(d: u32) -> Vec<f64> {
+    assert!(d > 0, "need at least one urn");
+    let df = f64::from(d);
+    let mut q = Vec::with_capacity(d as usize + 1);
+    q.push(1.0); // Q_0
+    let mut acc = 1.0;
+    for j in 1..=d {
+        // Q_j = Q_{j-1} * (D - j + 1)/D; note Q_1 = 1.
+        acc *= (df - f64::from(j) + 1.0) / df;
+        q.push(acc);
+    }
+    q
+}
+
+/// `P(L = j)` for `j = 0..=D`.
+#[must_use]
+pub fn pmf(d: u32) -> Vec<f64> {
+    let q = survival(d);
+    let mut p = Vec::with_capacity(q.len());
+    for j in 0..q.len() {
+        let next = if j + 1 < q.len() { q[j + 1] } else { 0.0 };
+        p.push(q[j] - next);
+    }
+    p
+}
+
+/// Exact expected round length `E[L] = Σ_{j≥1} Q_j`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+#[must_use]
+pub fn expected_concurrency(d: u32) -> f64 {
+    survival(d)[1..].iter().sum()
+}
+
+/// The paper's two-term asymptotic: `√(πD/2) − 1/3`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+#[must_use]
+pub fn expected_concurrency_asymptotic(d: u32) -> f64 {
+    assert!(d > 0, "need at least one urn");
+    (PI * f64::from(d) / 2.0).sqrt() - 1.0 / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_d5_by_hand() {
+        let q = survival(5);
+        let expected = [1.0, 1.0, 0.8, 0.48, 0.192, 0.0384];
+        for (a, b) in q.iter().zip(expected) {
+            assert!((a - b).abs() < 1e-12, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_matches_mean() {
+        for d in [1u32, 2, 5, 10, 20, 64] {
+            let p = pmf(d);
+            // P(L = 0) must be zero: the first ball always lands empty.
+            assert!(p[0].abs() < 1e-12);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "d={d}");
+            let mean: f64 = p.iter().enumerate().map(|(j, &pj)| j as f64 * pj).sum();
+            assert!((mean - expected_concurrency(d)).abs() < 1e-9, "d={d}");
+        }
+    }
+
+    #[test]
+    fn paper_asymptotic_values() {
+        // The paper evaluates the two-term asymptotic for D = 5, 10, 20 and
+        // reports 2.47, 3.63, 5.27.
+        assert!((expected_concurrency_asymptotic(5) - 2.47).abs() < 0.005);
+        assert!((expected_concurrency_asymptotic(10) - 3.63).abs() < 0.005);
+        assert!((expected_concurrency_asymptotic(20) - 5.27).abs() < 0.005);
+    }
+
+    #[test]
+    fn exact_values_are_close_to_asymptotic() {
+        // Exact E[L]: 2.5104 (D=5), 3.6602 (D=10).
+        assert!((expected_concurrency(5) - 2.5104).abs() < 1e-4);
+        assert!((expected_concurrency(10) - 3.6602).abs() < 1e-4);
+        for d in [5u32, 10, 20, 50] {
+            let rel = (expected_concurrency(d) - expected_concurrency_asymptotic(d)).abs()
+                / expected_concurrency(d);
+            assert!(rel < 0.025, "d={d}: rel={rel}");
+        }
+    }
+
+    #[test]
+    fn single_urn_round_has_length_one() {
+        assert!((expected_concurrency(1) - 1.0).abs() < 1e-12);
+        let p = pmf(1);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_grows_sublinearly() {
+        // O(sqrt(D)): doubling D should multiply concurrency by ~sqrt(2).
+        let c10 = expected_concurrency(10);
+        let c20 = expected_concurrency(20);
+        let ratio = c20 / c10;
+        assert!(ratio > 1.3 && ratio < 1.45, "ratio={ratio}");
+        // And always well below the maximum D.
+        for d in [5u32, 10, 20] {
+            assert!(expected_concurrency(d) < f64::from(d) * 0.6);
+        }
+    }
+}

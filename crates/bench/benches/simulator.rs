@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks of the merge-phase simulator itself:
+//! wall-clock cost of simulating each paper configuration (the simulator's
+//! throughput, not the simulated time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pm_core::{MergeConfig, MergeSim, SyncMode};
+
+fn bench_config(c: &mut Criterion, name: &str, cfg: MergeConfig) {
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || cfg,
+            |cfg| MergeSim::run_uniform(cfg).expect("valid config"),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn simulator_benches(c: &mut Criterion) {
+    bench_config(c, "sim/no_prefetch_k25_d1", MergeConfig::paper_no_prefetch(25, 1));
+    bench_config(c, "sim/no_prefetch_k25_d5", MergeConfig::paper_no_prefetch(25, 5));
+    bench_config(c, "sim/intra_k25_d5_n10", MergeConfig::paper_intra(25, 5, 10));
+    bench_config(c, "sim/inter_k25_d5_n10_c1200", MergeConfig::paper_inter(25, 5, 10, 1200));
+    let mut sync = MergeConfig::paper_inter(25, 5, 10, 1200);
+    sync.sync = SyncMode::Synchronized;
+    bench_config(c, "sim/inter_sync_k25_d5_n10", sync);
+    bench_config(c, "sim/inter_k50_d10_n10_c3500", MergeConfig::paper_inter(50, 10, 10, 3500));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = simulator_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Prints the Markov-chain average I/O parallelism of the two cache
+//! admission policies across cache sizes (the companion-report analysis;
+//! see `pm_analysis::markov`).
+
+use pm_analysis::markov::{average_parallelism, Policy};
+
+fn main() {
+    println!("average I/O parallelism, one run per disk (instantaneous-fetch chain)\n");
+    for d in [3u32, 4, 5] {
+        for m in [1u32, 2, 3, 4, 6] {
+            let c = m * d;
+            let aon = average_parallelism(d, c, Policy::AllOrNothing);
+            let greedy = average_parallelism(d, c, Policy::Greedy);
+            println!("D={d} C={c:>2}: all-or-nothing {aon:.3}   greedy {greedy:.3}");
+        }
+        println!();
+    }
+}

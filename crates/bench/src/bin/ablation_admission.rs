@@ -1,0 +1,73 @@
+//! **Ablation A1**: all-or-nothing vs. greedy cache admission for
+//! inter-run prefetching.
+//!
+//! The paper adopts all-or-nothing, citing its companion Markov analysis:
+//! greedily filling the cache with partial prefetches delays the return to
+//! a state where all `D` disks can be driven concurrently. This binary
+//! quantifies the claim on the paper's configurations across the
+//! cache-constrained region.
+//!
+//! Usage: `ablation_admission [--trials n] [--quick]`
+
+use pm_bench::{format_num, Harness};
+use pm_core::{run_trials, AdmissionPolicy, MergeConfig};
+use pm_report::{Align, Csv, Table};
+
+fn main() {
+    let (harness, _) = Harness::from_args();
+    let (k, d, n) = (25u32, 5u32, 10u32);
+    let caches: Vec<u32> = if harness.quick {
+        vec![300, 600, 900]
+    } else {
+        vec![275, 350, 450, 600, 750, 900, 1050, 1200]
+    };
+    let mut table = Table::new(vec![
+        "cache (blocks)".into(),
+        "all-or-nothing (s)".into(),
+        "greedy (s)".into(),
+        "AoN concurrency".into(),
+        "greedy concurrency".into(),
+    ]);
+    for i in 0..5 {
+        table.set_align(i, Align::Right);
+    }
+    std::fs::create_dir_all(&harness.out_dir).expect("create output dir");
+    let file = std::fs::File::create(harness.out_path("ablation_admission.csv")).expect("csv");
+    let mut csv = Csv::with_header(
+        file,
+        &["cache", "aon_secs", "greedy_secs", "aon_conc", "greedy_conc"],
+    )
+    .expect("header");
+
+    for cache in caches {
+        let run_one = |policy: AdmissionPolicy| {
+            let mut cfg = MergeConfig::paper_inter(k, d, n, cache);
+            cfg.admission = policy;
+            cfg.seed = harness.seed ^ u64::from(cache);
+            run_trials(&cfg, harness.trials).expect("valid case")
+        };
+        let aon = run_one(AdmissionPolicy::AllOrNothing);
+        let greedy = run_one(AdmissionPolicy::Greedy);
+        table.add_row(vec![
+            format_num(f64::from(cache)),
+            format!("{:.1}", aon.mean_total_secs),
+            format!("{:.1}", greedy.mean_total_secs),
+            format!("{:.2}", aon.mean_concurrency),
+            format!("{:.2}", greedy.mean_concurrency),
+        ]);
+        csv.row_strings(&[
+            cache.to_string(),
+            format!("{:.3}", aon.mean_total_secs),
+            format!("{:.3}", greedy.mean_total_secs),
+            format!("{:.3}", aon.mean_concurrency),
+            format!("{:.3}", greedy.mean_concurrency),
+        ])
+        .expect("row");
+    }
+    println!(
+        "== A1: admission policy ablation — inter-run, k={k}, D={d}, N={n} (trials={}) ==\n",
+        harness.trials
+    );
+    println!("{}", table.render());
+    println!("wrote {}", harness.out_path("ablation_admission.csv").display());
+}

@@ -1,0 +1,78 @@
+//! **Ablation A4**: inter-run prefetch target selection.
+//!
+//! The paper picks the run to prefetch on each non-demand disk uniformly
+//! at random, stating that head-position-based heuristics (studied in its
+//! companion report) brought too little benefit to justify their
+//! bookkeeping. This binary re-examines the claim against two informed
+//! policies: *least-held* (prefetch the run closest to stalling the merge)
+//! and *head-proximity* (prefetch the run needing the shortest seek).
+//!
+//! Usage: `ablation_prefetch [--trials n] [--quick]`
+
+use pm_bench::Harness;
+use pm_core::{run_trials, MergeConfig, PrefetchChoice};
+use pm_report::{Align, Csv, Table};
+
+fn main() {
+    let (harness, _) = Harness::from_args();
+    let policies = [
+        PrefetchChoice::Random,
+        PrefetchChoice::LeastHeld,
+        PrefetchChoice::HeadProximity,
+    ];
+    let scenarios: Vec<(&str, u32, u32, u32, u32)> = vec![
+        // (label, k, d, n, cache)
+        ("k=25 D=5 N=10 C=600 (constrained)", 25, 5, 10, 600),
+        ("k=25 D=5 N=10 C=1200 (ample)", 25, 5, 10, 1200),
+        ("k=50 D=5 N=5 C=800", 50, 5, 5, 800),
+        ("k=50 D=10 N=10 C=2000", 50, 10, 10, 2000),
+    ];
+    let mut table = Table::new(vec![
+        "scenario".into(),
+        "policy".into(),
+        "total (s)".into(),
+        "success ratio".into(),
+        "concurrency".into(),
+    ]);
+    for i in 2..5 {
+        table.set_align(i, Align::Right);
+    }
+    std::fs::create_dir_all(&harness.out_dir).expect("create output dir");
+    let file = std::fs::File::create(harness.out_path("ablation_prefetch.csv")).expect("csv");
+    let mut csv = Csv::with_header(
+        file,
+        &["scenario", "policy", "total_secs", "success_ratio", "concurrency"],
+    )
+    .expect("header");
+
+    for (label, k, d, n, cache) in scenarios {
+        for policy in policies {
+            let mut cfg = MergeConfig::paper_inter(k, d, n, cache);
+            cfg.prefetch_choice = policy;
+            cfg.seed = harness.seed;
+            let s = run_trials(&cfg, harness.trials).expect("valid case");
+            let ratio = s.mean_success_ratio.unwrap_or(0.0);
+            table.add_row(vec![
+                label.to_string(),
+                policy.label().to_string(),
+                format!("{:.1}", s.mean_total_secs),
+                format!("{ratio:.3}"),
+                format!("{:.2}", s.mean_concurrency),
+            ]);
+            csv.row_strings(&[
+                label.to_string(),
+                policy.label().to_string(),
+                format!("{:.3}", s.mean_total_secs),
+                format!("{ratio:.4}"),
+                format!("{:.3}", s.mean_concurrency),
+            ])
+            .expect("row");
+        }
+    }
+    println!(
+        "== A4: inter-run prefetch target policy (trials={}) ==\n",
+        harness.trials
+    );
+    println!("{}", table.render());
+    println!("wrote {}", harness.out_path("ablation_prefetch.csv").display());
+}

@@ -1,0 +1,103 @@
+//! **Extension E12**: block-size sensitivity.
+//!
+//! The paper fixes the transfer unit at 4 KiB; its baseline reference
+//! (Kwan & Baer) treated block size as a first-class variable. This
+//! experiment re-opens the knob on the same physical drive
+//! ([`DiskSpec::paper_with_block_bytes`] preserves cylinder capacity,
+//! rotation, seek, and the sustained transfer rate): the data volume
+//! (100 MB in 25 runs) and the cache *bytes* (4.9 MB) stay fixed while
+//! the block size sweeps 512 B – 16 KiB.
+//!
+//! Bigger blocks amortize each operation's mechanical delay over more
+//! bytes, but out of a fixed-size cache they leave fewer slots, so the
+//! inter-run success ratio falls — block size has an optimum for a given
+//! cache, which 4 KiB sits near for the paper's configuration.
+//!
+//! Usage: `ext_blocksize [--trials n]`
+
+use pm_bench::Harness;
+use pm_core::{run_trials, DiskSpec, MergeConfig, PrefetchStrategy};
+use pm_report::{Align, Csv, Table};
+
+const RUN_BYTES: u64 = 4096 * 1000; // the paper's run: 4,096,000 bytes
+const CACHE_BYTES: u64 = 4096 * 1200; // the fig-3.5(a) asymptote cache
+const OP_BYTES: u64 = 4096 * 10; // inter-run op depth: N·bs = 40 KiB
+
+fn main() {
+    let (harness, _) = Harness::from_args();
+    let k = 25u32;
+    let d = 5u32;
+    let mut table = Table::new(vec![
+        "block bytes".into(),
+        "blocks/run".into(),
+        "N".into(),
+        "cache blocks".into(),
+        "no-prefetch (s)".into(),
+        "inter-run (s)".into(),
+        "success ratio".into(),
+    ]);
+    for i in 0..7 {
+        table.set_align(i, Align::Right);
+    }
+    std::fs::create_dir_all(&harness.out_dir).expect("create output dir");
+    let file = std::fs::File::create(harness.out_path("ext_blocksize.csv")).expect("csv");
+    let mut csv = Csv::with_header(
+        file,
+        &["block_bytes", "blocks_per_run", "n", "cache_blocks", "baseline_secs", "inter_secs", "success_ratio"],
+    )
+    .expect("header");
+
+    for bs in [512u32, 1024, 2048, 4096, 8192, 16384] {
+        let spec = DiskSpec::paper_with_block_bytes(bs);
+        let run_blocks = (RUN_BYTES / u64::from(bs)) as u32;
+        let cache_blocks = (CACHE_BYTES / u64::from(bs)) as u32;
+        let n = ((OP_BYTES / u64::from(bs)) as u32).max(1);
+
+        let mut base = MergeConfig::paper_no_prefetch(k, d);
+        base.disk_spec = spec;
+        base.run_blocks = run_blocks;
+        base.seed = harness.seed ^ u64::from(bs);
+
+        let baseline = run_trials(&base, harness.trials).expect("valid").mean_total_secs;
+
+        let mut inter = base;
+        inter.strategy = PrefetchStrategy::InterRun { n };
+        inter.cache_blocks = cache_blocks;
+        let summary = run_trials(&inter, harness.trials).expect("valid");
+        let ratio = summary.mean_success_ratio.unwrap_or(0.0);
+
+        table.add_row(vec![
+            bs.to_string(),
+            run_blocks.to_string(),
+            n.to_string(),
+            cache_blocks.to_string(),
+            format!("{baseline:.1}"),
+            format!("{:.1}", summary.mean_total_secs),
+            format!("{ratio:.3}"),
+        ]);
+        csv.row_strings(&[
+            bs.to_string(),
+            run_blocks.to_string(),
+            n.to_string(),
+            cache_blocks.to_string(),
+            format!("{baseline:.3}"),
+            format!("{:.3}", summary.mean_total_secs),
+            format!("{ratio:.4}"),
+        ])
+        .expect("row");
+    }
+    println!(
+        "== E12: block-size sensitivity — 25 runs x 4 MB, 5 disks, 4.9 MB cache (trials={}) ==\n",
+        harness.trials
+    );
+    println!("{}", table.render());
+    println!(
+        "The no-prefetch baseline improves monotonically with block size (each\n\
+         access amortizes seek + latency over more bytes). Inter-run\n\
+         prefetching at a fixed op size (N*bs = 40 KiB) is nearly block-size\n\
+         neutral until blocks get so large that the fixed-byte cache holds\n\
+         too few of them — the paper's 4 KiB sits comfortably in the flat\n\
+         region."
+    );
+    println!("wrote {}", harness.out_path("ext_blocksize.csv").display());
+}

@@ -1,0 +1,93 @@
+//! **Extension E10**: how many merge passes, at what fan-in?
+//!
+//! The paper's intro says the runs are merged "in a small number of merge
+//! passes" but evaluates only one. With a fixed cache the fan-in `F`
+//! trades passes against prefetch depth: large `F` reads the data once but
+//! leaves a shallow `N` per run (more seeks, lower success ratio); small
+//! `F` prefetches deeply but rereads everything each pass. This experiment
+//! sweeps `F` for a 64-run merge, and compares sequential vs. Huffman pass
+//! planning on replacement-selection-like unequal runs.
+//!
+//! Usage: `ext_multipass [--trials n]`
+
+use pm_bench::Harness;
+use pm_extsort::multipass::{plan_huffman, plan_sequential, simulate_plan};
+use pm_report::{Align, Csv, Table};
+use pm_sim::SimRng;
+
+fn main() {
+    let (harness, _) = Harness::from_args();
+    let (disks, cache) = (5u32, 640u32);
+
+    // Part 1: equal runs (the paper's setup), fan-in sweep.
+    let equal_runs = vec![250u32; 64]; // 16,000 blocks = 64 MB at 4 KiB
+    let mut table = Table::new(vec![
+        "fan-in F".into(),
+        "passes".into(),
+        "blocks read".into(),
+        "N per run".into(),
+        "total (s)".into(),
+    ]);
+    for i in 0..5 {
+        table.set_align(i, Align::Right);
+    }
+    std::fs::create_dir_all(&harness.out_dir).expect("create output dir");
+    let file = std::fs::File::create(harness.out_path("ext_multipass.csv")).expect("csv");
+    let mut csv = Csv::with_header(file, &["fan_in", "passes", "blocks", "n", "total_secs"])
+        .expect("header");
+
+    for f in [2u32, 4, 8, 16, 32, 64] {
+        let plan = plan_sequential(&equal_runs, f);
+        let report = simulate_plan(&plan, disks, cache, true, harness.seed ^ u64::from(f));
+        let n = (cache / (4 * f)).max(1);
+        table.add_row(vec![
+            f.to_string(),
+            plan.num_passes().to_string(),
+            plan.total_blocks().to_string(),
+            n.to_string(),
+            format!("{:.1}", report.total().as_secs_f64()),
+        ]);
+        csv.row_strings(&[
+            f.to_string(),
+            plan.num_passes().to_string(),
+            plan.total_blocks().to_string(),
+            n.to_string(),
+            format!("{:.3}", report.total().as_secs_f64()),
+        ])
+        .expect("row");
+    }
+    println!(
+        "== E10: multi-pass merging — 64 runs x 250 blocks, D={disks}, cache {cache} blocks ==\n"
+    );
+    println!("{}", table.render());
+
+    // Part 2: unequal runs — sequential vs Huffman planning.
+    let mut rng = SimRng::seed_from_u64(harness.seed);
+    let unequal: Vec<u32> = (0..48).map(|_| 20 + rng.index(480) as u32).collect();
+    let f = 6u32;
+    let seq = plan_sequential(&unequal, f);
+    let huf = plan_huffman(&unequal, f);
+    let seq_secs = simulate_plan(&seq, disks, cache, true, harness.seed ^ 0xA)
+        .total()
+        .as_secs_f64();
+    let huf_secs = simulate_plan(&huf, disks, cache, true, harness.seed ^ 0xB)
+        .total()
+        .as_secs_f64();
+    println!("unequal runs (48 runs, 20-500 blocks), F={f}:");
+    println!(
+        "  sequential grouping: {} blocks read, {seq_secs:.1} s",
+        seq.total_blocks()
+    );
+    println!(
+        "  Huffman grouping:    {} blocks read, {huf_secs:.1} s",
+        huf.total_blocks()
+    );
+    println!(
+        "\nThe fan-in optimum sits in the middle (F=8..16 here): one pass at\n\
+         F=64 starves the prefetcher (N=2 out of a 640-block cache) while F=2\n\
+         rereads the data six times. Huffman grouping trims the reread volume\n\
+         on unequal runs. Small merge orders need MergeConfig::per_run_cap:\n\
+         without it, single-run disks hoard the cache (see DESIGN.md §8)."
+    );
+    println!("wrote {}", harness.out_path("ext_multipass.csv").display());
+}

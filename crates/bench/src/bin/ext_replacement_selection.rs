@@ -1,0 +1,122 @@
+//! **Extension E7**: does replacement-selection run formation speed up the
+//! prefetched merge?
+//!
+//! The paper assumes equal-length runs (one memory load each). Knuth's
+//! replacement selection produces roughly half as many runs of about twice
+//! the length from the same memory, which lowers the merge order `k` —
+//! and the paper's own eq. (3) says seek time scales with `k`. This
+//! experiment sorts the same input both ways and replays each merge's
+//! data-driven depletion trace through the same disks (variable-length
+//! runs use `MergeSim::with_run_lengths`).
+//!
+//! Usage: `ext_replacement_selection [--trials n]`
+
+use pm_bench::Harness;
+use pm_core::{MergeConfig, MergeSim, PrefetchStrategy, SyncMode};
+use pm_extsort::{external_sort, generate, ExtSortConfig, RunFormation, SortOutcome};
+use pm_report::{Align, Csv, Table};
+
+const D: u32 = 5;
+const MEMORY: usize = 4_000; // records per memory load (100 blocks)
+const RPB: usize = 40;
+
+fn simulate(outcome: &SortOutcome, strategy: PrefetchStrategy, cache_factor: u32, seed: u64) -> f64 {
+    let mut cfg = MergeConfig::paper_no_prefetch(outcome.run_lengths.len() as u32, D);
+    cfg.strategy = strategy;
+    cfg.sync = SyncMode::Unsynchronized;
+    cfg.cache_blocks = cfg.runs * strategy.depth() * cache_factor;
+    cfg.seed = seed;
+    let mut trace = outcome.depletion_model();
+    MergeSim::with_run_lengths(cfg, &outcome.run_blocks)
+        .expect("valid configuration")
+        .run(&mut trace)
+        .total
+        .as_secs_f64()
+}
+
+fn main() {
+    let (harness, _) = Harness::from_args();
+    let n_records = 20 * MEMORY; // 20 memory loads
+    let mut table = Table::new(vec![
+        "input".into(),
+        "strategy".into(),
+        "load-sort runs".into(),
+        "load-sort (s)".into(),
+        "repl-sel runs".into(),
+        "repl-sel (s)".into(),
+    ]);
+    for i in 2..6 {
+        table.set_align(i, Align::Right);
+    }
+    std::fs::create_dir_all(&harness.out_dir).expect("create output dir");
+    let file =
+        std::fs::File::create(harness.out_path("ext_replacement_selection.csv")).expect("csv");
+    let mut csv = Csv::with_header(
+        file,
+        &["input", "strategy", "ls_runs", "ls_secs", "rs_runs", "rs_secs"],
+    )
+    .expect("header");
+
+    let inputs: Vec<(&str, Vec<pm_extsort::Record>)> = vec![
+        ("uniform random", generate::uniform(n_records, harness.seed)),
+        (
+            "nearly sorted",
+            generate::nearly_sorted(n_records, n_records / 50, harness.seed),
+        ),
+    ];
+    for (input_name, records) in inputs {
+        let sort_with = |formation: RunFormation| {
+            external_sort(
+                &records,
+                &ExtSortConfig {
+                    memory_records: MEMORY,
+                    records_per_block: RPB,
+                    run_formation: formation,
+                },
+            )
+        };
+        let load_sort = sort_with(RunFormation::LoadSort);
+        let repl_sel = sort_with(RunFormation::ReplacementSelection);
+        assert!(load_sort.output == repl_sel.output, "both must sort identically");
+
+        for (sname, strategy) in [
+            ("intra N=10", PrefetchStrategy::IntraRun { n: 10 }),
+            ("inter N=10", PrefetchStrategy::InterRun { n: 10 }),
+        ] {
+            let cache_factor = if strategy.is_inter_run() { 4 } else { 1 };
+            let ls_secs = simulate(&load_sort, strategy, cache_factor, harness.seed);
+            let rs_secs = simulate(&repl_sel, strategy, cache_factor, harness.seed);
+            table.add_row(vec![
+                input_name.to_string(),
+                sname.to_string(),
+                load_sort.run_lengths.len().to_string(),
+                format!("{ls_secs:.2}"),
+                repl_sel.run_lengths.len().to_string(),
+                format!("{rs_secs:.2}"),
+            ]);
+            csv.row_strings(&[
+                input_name.to_string(),
+                sname.to_string(),
+                load_sort.run_lengths.len().to_string(),
+                format!("{ls_secs:.4}"),
+                repl_sel.run_lengths.len().to_string(),
+                format!("{rs_secs:.4}"),
+            ])
+            .expect("row");
+        }
+    }
+    println!("== E7: replacement selection vs load-sort run formation (D={D}) ==\n");
+    println!("{}", table.render());
+    println!(
+        "Replacement selection halves the merge order on random input, which\n\
+         trims seeks (a small win for intra-run prefetching). On nearly-sorted\n\
+         input it collapses everything into ONE run — which then lives on a\n\
+         single disk and forfeits all I/O parallelism, so fewer runs are not\n\
+         automatically better once the merge is disk-striped. Neither effect\n\
+         is expressible in the paper's equal-run model."
+    );
+    println!(
+        "wrote {}",
+        harness.out_path("ext_replacement_selection.csv").display()
+    );
+}

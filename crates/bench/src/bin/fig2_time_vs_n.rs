@@ -1,0 +1,60 @@
+//! Reproduces **Figure 3.2** of Pai & Varman (ICDE 1992): total merge time
+//! vs. the prefetch depth `N` (1–30), unsynchronized prefetching, for the
+//! intra-run ("Demand Run Only") and combined inter-run ("All Disks One
+//! Run") strategies.
+//!
+//! Usage: `fig2_time_vs_n [--panel a|b|c] [--trials n] [--quick]`
+//! (omit `--panel` to run all three panels).
+
+use pm_bench::Harness;
+use pm_workload::paper::{fig2_panel, Fig2Panel};
+
+fn main() {
+    let (harness, rest) = Harness::from_args();
+    let panels: Vec<(Fig2Panel, &str, &str)> = match panel_arg(&rest) {
+        Some('a') => vec![panel_a()],
+        Some('b') => vec![panel_b()],
+        Some('c') => vec![panel_c()],
+        None => vec![panel_a(), panel_b(), panel_c()],
+        Some(other) => panic!("unknown panel '{other}', expected a, b, or c"),
+    };
+    for (panel, name, title) in panels {
+        let sweeps = fig2_panel(panel, harness.seed);
+        harness.run_sweeps(name, title, "total time (s)", &sweeps, |s| s.mean_total_secs);
+    }
+}
+
+fn panel_a() -> (Fig2Panel, &'static str, &'static str) {
+    (
+        Fig2Panel::A,
+        "fig2a",
+        "Fig 3.2(a): Fetching N blocks (25 runs)",
+    )
+}
+
+fn panel_b() -> (Fig2Panel, &'static str, &'static str) {
+    (
+        Fig2Panel::B,
+        "fig2b",
+        "Fig 3.2(b): Fetching N blocks (50 runs)",
+    )
+}
+
+fn panel_c() -> (Fig2Panel, &'static str, &'static str) {
+    (
+        Fig2Panel::C,
+        "fig2c",
+        "Fig 3.2(c): Expanded view (5 disks, 25 and 50 runs)",
+    )
+}
+
+fn panel_arg(rest: &[String]) -> Option<char> {
+    let mut iter = rest.iter();
+    while let Some(a) = iter.next() {
+        if a == "--panel" {
+            let v = iter.next().expect("--panel needs a value");
+            return v.chars().next().map(|c| c.to_ascii_lowercase());
+        }
+    }
+    None
+}

@@ -1,0 +1,21 @@
+//! Reproduces **Figure 3.3**: the effect of a finite-speed CPU.
+//! `k = 25` runs, `D = 5` disks, `N = 10`; total execution time vs. the
+//! time to merge one block (0–0.7 ms) for the four strategy × sync
+//! combinations.
+//!
+//! Usage: `fig3_cpu_speed [--trials n] [--quick]`
+
+use pm_bench::Harness;
+use pm_workload::paper::fig3_cpu_sweep;
+
+fn main() {
+    let (harness, _) = Harness::from_args();
+    let sweeps = fig3_cpu_sweep(harness.seed);
+    harness.run_sweeps(
+        "fig3",
+        "Fig 3.3: Effect of finite-speed CPU (25 runs, 5 disks, N=10)",
+        "total time (s)",
+        &sweeps,
+        |s| s.mean_total_secs,
+    );
+}

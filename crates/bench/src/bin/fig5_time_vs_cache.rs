@@ -1,0 +1,51 @@
+//! Reproduces **Figure 3.5**: total execution time vs. cache size for
+//! inter-run ("All Disks One Run") prefetching, unsynchronized, with
+//! `N ∈ {1, 5, 10}`, in the paper's three configurations:
+//! (25 runs, 5 disks), (50 runs, 5 disks), (50 runs, 10 disks).
+//!
+//! Usage: `fig5_time_vs_cache [--panel 1|2|3] [--trials n] [--quick]`
+
+use pm_bench::Harness;
+use pm_workload::paper::{cache_sweep, CachePanel};
+
+fn main() {
+    let (harness, rest) = Harness::from_args();
+    for (panel, name, title) in pm_bench_cache_panels(&rest) {
+        let sweeps = cache_sweep(panel, harness.seed);
+        harness.run_sweeps(name, title, "total time (s)", &sweeps, |s| s.mean_total_secs);
+    }
+}
+
+/// Shared panel-argument parsing for the fig 3.5 / 3.6 binaries.
+pub fn pm_bench_cache_panels(rest: &[String]) -> Vec<(CachePanel, &'static str, &'static str)> {
+    let all = vec![
+        (
+            CachePanel::K25D5,
+            "fig5a",
+            "Fig 3.5(a): Time vs cache size (25 runs, 5 disks)",
+        ),
+        (
+            CachePanel::K50D5,
+            "fig5b",
+            "Fig 3.5(b): Time vs cache size (50 runs, 5 disks)",
+        ),
+        (
+            CachePanel::K50D10,
+            "fig5c",
+            "Fig 3.5(c): Time vs cache size (50 runs, 10 disks)",
+        ),
+    ];
+    let mut iter = rest.iter();
+    while let Some(a) = iter.next() {
+        if a == "--panel" {
+            let v: usize = iter
+                .next()
+                .expect("--panel needs a value")
+                .parse()
+                .expect("--panel must be 1, 2, or 3");
+            assert!((1..=3).contains(&v), "--panel must be 1, 2, or 3");
+            return vec![all[v - 1]];
+        }
+    }
+    all
+}

@@ -1,0 +1,51 @@
+//! Reproduces **Figure 3.6**: the success ratio (probability that an
+//! inter-run prefetch could be fully admitted to the cache) vs. cache
+//! size, for the same configurations as Figure 3.5.
+//!
+//! Usage: `fig6_success_ratio [--panel 1|2|3] [--trials n] [--quick]`
+
+use pm_bench::Harness;
+use pm_workload::paper::{cache_sweep, CachePanel};
+
+fn main() {
+    let (harness, rest) = Harness::from_args();
+    for (panel, name, title) in panels(&rest) {
+        let sweeps = cache_sweep(panel, harness.seed);
+        harness.run_sweeps(name, title, "success ratio", &sweeps, |s| {
+            s.mean_success_ratio.unwrap_or(0.0)
+        });
+    }
+}
+
+fn panels(rest: &[String]) -> Vec<(CachePanel, &'static str, &'static str)> {
+    let all = vec![
+        (
+            CachePanel::K25D5,
+            "fig6a",
+            "Fig 3.6(a): Success ratio vs cache size (25 runs, 5 disks)",
+        ),
+        (
+            CachePanel::K50D5,
+            "fig6b",
+            "Fig 3.6(b): Success ratio vs cache size (50 runs, 5 disks)",
+        ),
+        (
+            CachePanel::K50D10,
+            "fig6c",
+            "Fig 3.6(c): Success ratio vs cache size (50 runs, 10 disks)",
+        ),
+    ];
+    let mut iter = rest.iter();
+    while let Some(a) = iter.next() {
+        if a == "--panel" {
+            let v: usize = iter
+                .next()
+                .expect("--panel needs a value")
+                .parse()
+                .expect("--panel must be 1, 2, or 3");
+            assert!((1..=3).contains(&v), "--panel must be 1, 2, or 3");
+            return vec![all[v - 1]];
+        }
+    }
+    all
+}

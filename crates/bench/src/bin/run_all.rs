@@ -1,0 +1,73 @@
+//! Runs every experiment binary in sequence (the full reproduction), by
+//! default in `--quick` mode. Useful as a one-shot regression sweep after
+//! changing the simulator.
+//!
+//! Usage: `run_all [--full] [--trials n] [--seed n]`
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "validation_table",
+    "concurrency_table",
+    "fig2_time_vs_n",
+    "fig3_cpu_speed",
+    "fig5_time_vs_cache",
+    "fig6_success_ratio",
+    "ablation_admission",
+    "ablation_queue",
+    "ablation_prefetch",
+    "model_vs_real",
+    "ext_replacement_selection",
+    "ext_write_traffic",
+    "ext_k100",
+    "ext_multipass",
+    "ext_striping",
+    "ext_blocksize",
+    "ext_variance",
+    "ext_adaptive",
+    "ext_end_to_end",
+    "make_report",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let passthrough: Vec<&String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--full")
+        .collect();
+    // Sibling binaries live next to this one.
+    let mut dir = PathBuf::from(std::env::args().next().expect("argv[0]"));
+    dir.pop();
+
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n================ {exp} ================");
+        let mut cmd = Command::new(dir.join(exp));
+        if !full {
+            cmd.arg("--quick");
+        }
+        for a in &passthrough {
+            cmd.arg(a);
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{exp} exited with {status}");
+                failed.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("{exp} failed to launch: {e} (build all bins first: cargo build --release -p pm-bench)");
+                failed.push(*exp);
+            }
+        }
+    }
+    println!("\n================ summary ================");
+    if failed.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

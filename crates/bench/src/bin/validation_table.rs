@@ -1,0 +1,141 @@
+//! Regenerates every **estimated-vs-simulated** comparison quoted in the
+//! paper's text (§3.1–3.2): equations (1)–(5) against the simulator, plus
+//! the transfer-time lower bounds and the unsynchronized asymptotics.
+//!
+//! Usage: `validation_table [--trials n]`
+
+use pm_analysis::{bounds, equations, ModelParams};
+use pm_bench::Harness;
+use pm_core::{run_trials, MergeConfig, SyncMode};
+use pm_report::{Align, Csv, Table};
+
+struct Case {
+    label: &'static str,
+    analytic_secs: f64,
+    paper_simulated: Option<f64>,
+    config: MergeConfig,
+}
+
+fn cases(p: &ModelParams) -> Vec<Case> {
+    let total = |k: u32, tau: f64| equations::total_seconds(p, k, tau);
+    let mut v = Vec::new();
+
+    v.push(Case {
+        label: "eq1: no prefetch, k=25, D=1",
+        analytic_secs: total(25, equations::tau_single_no_prefetch(p, 25)),
+        paper_simulated: Some(360.9),
+        config: MergeConfig::paper_no_prefetch(25, 1),
+    });
+    v.push(Case {
+        label: "eq1: no prefetch, k=50, D=1",
+        analytic_secs: total(50, equations::tau_single_no_prefetch(p, 50)),
+        paper_simulated: Some(916.0),
+        config: MergeConfig::paper_no_prefetch(50, 1),
+    });
+    for (k, n, paper) in [(25u32, 16u32, 73.0), (50, 16, 158.0), (25, 30, 64.0), (50, 30, 135.0)] {
+        v.push(Case {
+            label: Box::leak(format!("eq2: intra, k={k}, D=1, N={n}").into_boxed_str()),
+            analytic_secs: total(k, equations::tau_single_intra(p, k, n)),
+            paper_simulated: Some(paper),
+            config: MergeConfig::paper_intra(k, 1, n),
+        });
+    }
+    for (k, d, paper) in [(25u32, 5u32, 281.9), (50, 10, 563.5)] {
+        v.push(Case {
+            label: Box::leak(format!("eq3: no prefetch, k={k}, D={d}").into_boxed_str()),
+            analytic_secs: total(k, equations::tau_multi_no_prefetch(p, k, d)),
+            paper_simulated: Some(paper),
+            config: MergeConfig::paper_no_prefetch(k, d),
+        });
+    }
+    {
+        let mut cfg = MergeConfig::paper_intra(25, 5, 30);
+        cfg.sync = SyncMode::Synchronized;
+        v.push(Case {
+            label: "eq4: intra sync, k=25, D=5, N=30",
+            analytic_secs: total(25, equations::tau_multi_intra_sync(p, 25, 5, 30)),
+            paper_simulated: Some(61.6),
+            config: cfg,
+        });
+    }
+    {
+        let mut cfg = MergeConfig::paper_inter(25, 5, 10, 2000);
+        cfg.sync = SyncMode::Synchronized;
+        v.push(Case {
+            label: "eq5: inter sync, k=25, D=5, N=10",
+            analytic_secs: total(25, equations::tau_inter_sync(p, 25, 5, 10)),
+            paper_simulated: Some(17.4),
+            config: cfg,
+        });
+    }
+    // Unsynchronized intra-run at N=30: the paper's asymptotic estimate
+    // (eq-4 time over the urn concurrency) vs. simulation.
+    v.push(Case {
+        label: "urn asymptote: intra unsync, k=25, D=5, N=30",
+        analytic_secs: bounds::intra_unsync_asymptotic_secs(p, 25, 5, 30),
+        paper_simulated: Some(28.5),
+        config: MergeConfig::paper_intra(25, 5, 30),
+    });
+    // Inter-run unsynchronized with a huge cache approaches kBT/D.
+    v.push(Case {
+        label: "bound kBT/D: inter unsync, k=25, D=5, N=50",
+        analytic_secs: bounds::multi_disk_lower_bound_secs(p, 25, 5),
+        paper_simulated: Some(12.2),
+        config: MergeConfig::paper_inter(25, 5, 50, 5000),
+    });
+    v.push(Case {
+        label: "bound kBT/D: inter unsync, k=50, D=5, N=50",
+        analytic_secs: bounds::multi_disk_lower_bound_secs(p, 50, 5),
+        paper_simulated: Some(23.6),
+        config: MergeConfig::paper_inter(50, 5, 50, 10_000),
+    });
+    v
+}
+
+fn main() {
+    let (harness, _) = Harness::from_args();
+    let p = ModelParams::paper();
+    let mut table = Table::new(vec![
+        "case".into(),
+        "analytic (s)".into(),
+        "paper sim (s)".into(),
+        "our sim (s)".into(),
+        "sim/analytic".into(),
+    ]);
+    for i in 1..=4 {
+        table.set_align(i, Align::Right);
+    }
+    let mut rows_csv: Vec<Vec<String>> = Vec::new();
+    for case in cases(&p) {
+        let mut cfg = case.config;
+        cfg.seed = harness.seed;
+        let summary = run_trials(&cfg, harness.trials).expect("valid case");
+        let sim = summary.mean_total_secs;
+        let ratio = sim / case.analytic_secs;
+        table.add_row(vec![
+            case.label.to_string(),
+            format!("{:.1}", case.analytic_secs),
+            case.paper_simulated
+                .map_or_else(|| "-".into(), |v| format!("{v:.1}")),
+            format!("{sim:.1}"),
+            format!("{ratio:.3}"),
+        ]);
+        rows_csv.push(vec![
+            case.label.to_string(),
+            format!("{:.3}", case.analytic_secs),
+            case.paper_simulated.map_or_else(String::new, |v| format!("{v:.3}")),
+            format!("{sim:.3}"),
+        ]);
+    }
+    println!("== T1: analytical predictions vs simulation (trials={}) ==\n", harness.trials);
+    println!("{}", table.render());
+
+    std::fs::create_dir_all(&harness.out_dir).expect("create output dir");
+    let file = std::fs::File::create(harness.out_path("validation_table.csv")).expect("csv");
+    let mut csv = Csv::with_header(file, &["case", "analytic_s", "paper_sim_s", "our_sim_s"])
+        .expect("header");
+    for row in &rows_csv {
+        csv.row_strings(row).expect("row");
+    }
+    println!("wrote {}", harness.out_path("validation_table.csv").display());
+}

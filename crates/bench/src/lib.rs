@@ -1,0 +1,256 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every figure/table of Pai & Varman (ICDE 1992) has a binary in
+//! `src/bin/` that reruns its scenarios through this harness, prints the
+//! paper's series (table + terminal plot), and writes raw CSV under
+//! `target/experiments/`. Common flags:
+//!
+//! * `--trials <n>` — independent simulation trials per point (default 5).
+//! * `--quick` — 2 trials and every 3rd sweep point; for smoke runs.
+//! * `--seed <n>` — master seed (default 1992).
+//! * `--out <dir>` — CSV output directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pm_core::{run_trials, TrialSummary};
+use pm_report::{Align, AsciiPlot, Csv, Table};
+use pm_workload::Sweep;
+
+/// Parsed common options plus any binary-specific leftover arguments.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Trials per sweep point.
+    pub trials: u32,
+    /// Subsample sweep points (every 3rd) for smoke runs.
+    pub quick: bool,
+    /// Master seed fed to the workload builders.
+    pub seed: u64,
+    /// Directory for CSV output.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            trials: 5,
+            quick: false,
+            seed: 1992,
+            out_dir: PathBuf::from("target/experiments"),
+        }
+    }
+}
+
+impl Harness {
+    /// Parses common flags from `std::env::args`, returning the harness
+    /// and the remaining (binary-specific) arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    #[must_use]
+    pub fn from_args() -> (Self, Vec<String>) {
+        let mut h = Harness::default();
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    let v = args.next().expect("--trials needs a value");
+                    h.trials = v.parse().expect("--trials must be a positive integer");
+                    assert!(h.trials > 0, "--trials must be positive");
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    h.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--out" => {
+                    let v = args.next().expect("--out needs a directory");
+                    h.out_dir = PathBuf::from(v);
+                }
+                "--quick" => h.quick = true,
+                other => rest.push(other.to_string()),
+            }
+        }
+        if h.quick {
+            h.trials = h.trials.min(2);
+        }
+        (h, rest)
+    }
+
+    /// Effective sweep points after `--quick` subsampling. Always keeps
+    /// the first and last point of each sweep.
+    #[must_use]
+    pub fn thin(&self, sweep: &Sweep) -> Sweep {
+        if !self.quick || sweep.points.len() <= 3 {
+            return sweep.clone();
+        }
+        let last = sweep.points.len() - 1;
+        let points = sweep
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0 || *i == last)
+            .map(|(_, p)| p.clone())
+            .collect();
+        Sweep {
+            label: sweep.label.clone(),
+            x_label: sweep.x_label.clone(),
+            points,
+        }
+    }
+
+    /// Runs a family of sweeps, extracting `measure` from each point's
+    /// trial summary. Prints a table and an ASCII plot, and writes
+    /// `<out>/<name>.csv` with `series,x,y` rows. Returns the series as
+    /// `(label, points)` pairs for further processing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario is invalid or output files cannot be written.
+    pub fn run_sweeps(
+        &self,
+        name: &str,
+        title: &str,
+        y_label: &str,
+        sweeps: &[Sweep],
+        measure: impl Fn(&TrialSummary) -> f64,
+    ) -> Vec<(String, Vec<(f64, f64)>)> {
+        let mut series = Vec::new();
+        let mut table = Table::new(vec![
+            "series".into(),
+            sweeps.first().map_or_else(|| "x".into(), |s| s.x_label.clone()),
+            y_label.into(),
+        ]);
+        table.set_align(1, Align::Right);
+        table.set_align(2, Align::Right);
+        for sweep in sweeps {
+            let sweep = self.thin(sweep);
+            let mut points = Vec::with_capacity(sweep.points.len());
+            for p in &sweep.points {
+                let summary = run_trials(&p.config, self.trials)
+                    .unwrap_or_else(|e| panic!("{name}: invalid config at x={}: {e}", p.x));
+                let y = measure(&summary);
+                points.push((p.x, y));
+                table.add_row(vec![
+                    sweep.label.clone(),
+                    format_num(p.x),
+                    format!("{y:.3}"),
+                ]);
+            }
+            series.push((sweep.label.clone(), points));
+        }
+        println!("== {title} ==\n");
+        let mut plot = AsciiPlot::new(format!("{title} ({y_label})"), 72, 20);
+        for (label, points) in &series {
+            plot.add_series(label.clone(), points.clone());
+        }
+        println!("{}", plot.render());
+        println!("{}", table.render());
+        self.write_csv(name, &series, y_label);
+        series
+    }
+
+    /// Writes `series,x,y` CSV for a family of curves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn write_csv(&self, name: &str, series: &[(String, Vec<(f64, f64)>)], y_label: &str) {
+        fs::create_dir_all(&self.out_dir).expect("create output directory");
+        let path = self.out_dir.join(format!("{name}.csv"));
+        let file = fs::File::create(&path).expect("create CSV file");
+        let mut csv = Csv::with_header(file, &["series", "x", y_label]).expect("write CSV header");
+        for (label, points) in series {
+            for &(x, y) in points {
+                csv.row_strings(&[label.clone(), format_num(x), format!("{y:.6}")])
+                    .expect("write CSV row");
+            }
+        }
+        println!("wrote {}", path.display());
+    }
+
+    /// Path for an auxiliary output file.
+    #[must_use]
+    pub fn out_path(&self, file: &str) -> PathBuf {
+        self.out_dir.join(file)
+    }
+}
+
+/// Formats a sweep coordinate without trailing noise (integers stay
+/// integers).
+#[must_use]
+pub fn format_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Ensures a directory exists and returns it (test/bench convenience).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn ensure_dir(path: &Path) -> &Path {
+    fs::create_dir_all(path).expect("create directory");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::MergeConfig;
+
+    #[test]
+    fn format_num_trims_integers() {
+        assert_eq!(format_num(10.0), "10");
+        assert_eq!(format_num(0.25), "0.250");
+    }
+
+    #[test]
+    fn thin_keeps_endpoints() {
+        let sweep = Sweep::build("s", "N", (1..=10).map(f64::from), |x| {
+            MergeConfig::paper_intra(4, 2, x as u32)
+        });
+        let h = Harness {
+            quick: true,
+            ..Harness::default()
+        };
+        let thinned = h.thin(&sweep);
+        assert_eq!(thinned.points.first().unwrap().x, 1.0);
+        assert_eq!(thinned.points.last().unwrap().x, 10.0);
+        assert!(thinned.len() < sweep.len());
+    }
+
+    #[test]
+    fn thin_is_identity_without_quick() {
+        let sweep = Sweep::build("s", "N", (1..=10).map(f64::from), |x| {
+            MergeConfig::paper_intra(4, 2, x as u32)
+        });
+        let h = Harness::default();
+        assert_eq!(h.thin(&sweep).len(), 10);
+    }
+
+    #[test]
+    fn csv_output_round_trip() {
+        let dir = std::env::temp_dir().join("pm-bench-test-csv");
+        let h = Harness {
+            out_dir: dir.clone(),
+            ..Harness::default()
+        };
+        h.write_csv(
+            "unit",
+            &[("curve".to_string(), vec![(1.0, 2.0), (3.0, 4.5)])],
+            "secs",
+        );
+        let content = fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert!(content.starts_with("series,x,secs\n"));
+        assert!(content.contains("curve,1,2.000000"));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

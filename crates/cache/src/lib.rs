@@ -1,0 +1,30 @@
+//! RAM block cache for the merge-phase simulator.
+//!
+//! The paper's system model buffers prefetched blocks in a RAM cache of
+//! capacity `C` blocks. Two properties of its management matter for the
+//! results:
+//!
+//! 1. **Space is committed at issue time.** The pseudocode decrements
+//!    `num_free_cache` the moment an I/O is initiated, so blocks in flight
+//!    occupy cache space. [`BlockCache`] therefore distinguishes *resident*
+//!    blocks (arrived, awaiting depletion) from *reserved* blocks (in
+//!    flight) and maintains the invariant
+//!    `resident + reserved + free == capacity` at all times.
+//! 2. **All-or-nothing admission.** When the cache cannot hold the full
+//!    `D·N` blocks of an inter-run prefetch, the paper fetches *only the
+//!    demand block*, rather than greedily filling the remaining space; its
+//!    companion Markov analysis shows the greedy policy yields lower
+//!    average I/O parallelism. Both policies are implemented
+//!    ([`AdmissionPolicy`]) so the choice can be ablated.
+//!
+//! The cache is a *counting* model: the depletion simulation never looks at
+//! block contents, so the cache tracks per-run block counts, not bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod policy;
+
+pub use cache::{BlockCache, RunId};
+pub use policy::{AdmissionPolicy, PrefetchGroup};

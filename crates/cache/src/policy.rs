@@ -1,0 +1,159 @@
+//! Prefetch admission policies.
+
+use crate::{BlockCache, RunId};
+
+/// One run's share of a prefetch operation: `blocks` frames wanted for
+/// `run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchGroup {
+    /// The run to prefetch from.
+    pub run: RunId,
+    /// Number of blocks wanted (already clamped to what remains on disk).
+    pub blocks: u32,
+}
+
+/// What to do when a prefetch operation may not fit in the cache.
+///
+/// The paper adopts [`AdmissionPolicy::AllOrNothing`], citing the Markov
+/// analysis in its companion report: greedily filling remaining space
+/// delays the return to a state where all `D` disks can operate
+/// concurrently, lowering average I/O parallelism. The greedy alternative
+/// is kept for the A1 ablation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit the whole operation or none of it (the paper's policy).
+    #[default]
+    AllOrNothing,
+    /// Admit as many blocks as fit, in group order, allowing a partial
+    /// final group (the paper's rejected alternative; callers randomize
+    /// group order).
+    Greedy,
+}
+
+impl AdmissionPolicy {
+    /// Attempts to admit `groups` into `cache` under this policy.
+    ///
+    /// Returns the groups actually reserved (with possibly reduced block
+    /// counts under [`AdmissionPolicy::Greedy`]); an empty vector means the
+    /// prefetch was not admitted at all. The boolean reports whether the
+    /// *entire* request was admitted — the paper's success-ratio event.
+    pub fn admit(
+        self,
+        cache: &mut BlockCache,
+        groups: &[PrefetchGroup],
+    ) -> (Vec<PrefetchGroup>, bool) {
+        let wanted: u32 = groups.iter().map(|g| g.blocks).sum();
+        if wanted == 0 {
+            return (Vec::new(), true);
+        }
+        match self {
+            AdmissionPolicy::AllOrNothing => {
+                let pairs: Vec<(RunId, u32)> =
+                    groups.iter().map(|g| (g.run, g.blocks)).collect();
+                if cache.try_reserve_all(&pairs) {
+                    (groups.to_vec(), true)
+                } else {
+                    (Vec::new(), false)
+                }
+            }
+            AdmissionPolicy::Greedy => {
+                let mut admitted = Vec::new();
+                let mut remaining = cache.free();
+                for g in groups {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = g.blocks.min(remaining);
+                    if take == 0 {
+                        continue;
+                    }
+                    cache.reserve(g.run, take);
+                    remaining -= take;
+                    admitted.push(PrefetchGroup {
+                        run: g.run,
+                        blocks: take,
+                    });
+                }
+                let got: u32 = admitted.iter().map(|g| g.blocks).sum();
+                (admitted, got == wanted)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups(spec: &[(u32, u32)]) -> Vec<PrefetchGroup> {
+        spec.iter()
+            .map(|&(r, b)| PrefetchGroup {
+                run: RunId(r),
+                blocks: b,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_or_nothing_admits_when_fits() {
+        let mut cache = BlockCache::new(10, 3);
+        let g = groups(&[(0, 3), (1, 3), (2, 3)]);
+        let (admitted, full) = AdmissionPolicy::AllOrNothing.admit(&mut cache, &g);
+        assert!(full);
+        assert_eq!(admitted.len(), 3);
+        assert_eq!(cache.free(), 1);
+    }
+
+    #[test]
+    fn all_or_nothing_rejects_whole_request() {
+        let mut cache = BlockCache::new(8, 3);
+        let g = groups(&[(0, 3), (1, 3), (2, 3)]);
+        let (admitted, full) = AdmissionPolicy::AllOrNothing.admit(&mut cache, &g);
+        assert!(!full);
+        assert!(admitted.is_empty());
+        assert_eq!(cache.free(), 8, "rejection must not consume space");
+    }
+
+    #[test]
+    fn greedy_takes_what_fits_including_partial_group() {
+        let mut cache = BlockCache::new(5, 3);
+        let g = groups(&[(0, 3), (1, 3), (2, 3)]);
+        let (admitted, full) = AdmissionPolicy::Greedy.admit(&mut cache, &g);
+        assert!(!full);
+        assert_eq!(
+            admitted,
+            groups(&[(0, 3), (1, 2)]),
+            "second group is partial"
+        );
+        assert_eq!(cache.free(), 0);
+    }
+
+    #[test]
+    fn greedy_full_admission_reports_success() {
+        let mut cache = BlockCache::new(10, 2);
+        let g = groups(&[(0, 4), (1, 4)]);
+        let (admitted, full) = AdmissionPolicy::Greedy.admit(&mut cache, &g);
+        assert!(full);
+        assert_eq!(admitted, g);
+    }
+
+    #[test]
+    fn empty_request_is_trivially_full() {
+        let mut cache = BlockCache::new(1, 1);
+        for policy in [AdmissionPolicy::AllOrNothing, AdmissionPolicy::Greedy] {
+            let (admitted, full) = policy.admit(&mut cache, &groups(&[(0, 0)]));
+            assert!(full);
+            assert!(admitted.is_empty());
+            assert_eq!(cache.free(), 1);
+        }
+    }
+
+    #[test]
+    fn greedy_skips_zero_groups() {
+        let mut cache = BlockCache::new(4, 3);
+        let g = groups(&[(0, 0), (1, 2), (2, 0)]);
+        let (admitted, full) = AdmissionPolicy::Greedy.admit(&mut cache, &g);
+        assert!(full);
+        assert_eq!(admitted, groups(&[(1, 2)]));
+    }
+}

@@ -1,0 +1,160 @@
+//! Minimal flag parsing (`--key value` pairs plus a leading subcommand).
+//!
+//! The CLI keeps the workspace dependency-free: no argument-parsing crate,
+//! just a typed accessor layer over `--flag value` pairs with unknown-flag
+//! detection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A parse or validation failure, printed with usage by `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses a raw argument list (excluding the program name).
+    ///
+    /// The first non-flag token becomes the subcommand; everything else
+    /// must be `--key value` pairs (bare `--key` tokens are boolean
+    /// flags).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                // A value follows unless the next token is another flag or
+                // the end of input.
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        args.options.insert(key.to_string(), value);
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            } else if args.command.is_none() {
+                args.command = Some(token);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument '{token}'")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    #[must_use]
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Whether a boolean `--flag` was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string option.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A parsed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value '{v}' for --{name}"))),
+        }
+    }
+
+    /// A required option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))
+    }
+
+    /// Rejects options/flags not in `allowed` (catches typos).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!("unknown option --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn parses_subcommand_and_pairs() {
+        let a = parse(&["simulate", "--runs", "25", "--disks", "5"]);
+        assert_eq!(a.command(), Some("simulate"));
+        assert_eq!(a.get("runs"), Some("25"));
+        assert_eq!(a.get_parsed("disks", 0u32).unwrap(), 5);
+        assert_eq!(a.get_parsed("cache", 99u32).unwrap(), 99);
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = parse(&["simulate", "--sync", "--runs", "10"]);
+        assert!(a.flag("sync"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get("runs"), Some("10"));
+    }
+
+    #[test]
+    fn trailing_flag_is_boolean() {
+        let a = parse(&["sweep", "--quick"]);
+        assert!(a.flag("quick"));
+    }
+
+    #[test]
+    fn rejects_extra_positional() {
+        let err = Args::parse(["a".to_string(), "b".to_string()]).unwrap_err();
+        assert!(err.0.contains("unexpected positional"));
+    }
+
+    #[test]
+    fn require_and_invalid_values() {
+        let a = parse(&["simulate", "--runs", "abc"]);
+        assert!(a.require("runs").is_ok());
+        assert!(a.require("disks").is_err());
+        assert!(a.get_parsed("runs", 0u32).is_err());
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let a = parse(&["simulate", "--rnus", "25"]);
+        assert!(a.check_known(&["runs", "disks"]).is_err());
+        assert!(a.check_known(&["rnus"]).is_ok());
+    }
+
+    #[test]
+    fn no_command() {
+        let a = parse(&[]);
+        assert_eq!(a.command(), None);
+    }
+}

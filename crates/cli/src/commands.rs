@@ -1,0 +1,426 @@
+//! Subcommand implementations.
+
+use pm_analysis::{bounds, equations, urn, ModelParams};
+use pm_core::{
+    run_trials, AdmissionPolicy, MergeConfig, PrefetchChoice, PrefetchStrategy, SimDuration,
+    SyncMode, WriteSpec,
+};
+use pm_report::{Align, AsciiPlot, Table};
+
+use crate::args::{ArgError, Args};
+use crate::batch;
+
+const SCENARIO_KEYS: &[&str] = &[
+    "runs", "blocks", "disks", "strategy", "n", "cache", "sync", "cpu-ms", "admission", "choice",
+    "cap", "layout", "write-disks", "write-buffer", "trials", "seed",
+];
+
+/// Builds a [`MergeConfig`] from scenario options.
+fn scenario(args: &Args) -> Result<(MergeConfig, u32), ArgError> {
+    let runs: u32 = args.get_parsed("runs", 25)?;
+    let blocks: u32 = args.get_parsed("blocks", 1000)?;
+    let disks: u32 = args.get_parsed("disks", 5)?;
+    let n: u32 = args.get_parsed("n", 10)?;
+    let strategy = match args.get("strategy").unwrap_or("inter") {
+        "none" => PrefetchStrategy::None,
+        "intra" => PrefetchStrategy::IntraRun { n },
+        "inter" => PrefetchStrategy::InterRun { n },
+        // Adaptive: `--n` caps the depth; the floor is 1.
+        "adaptive" => PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: n },
+        other => return Err(ArgError(format!("unknown strategy '{other}'"))),
+    };
+    let default_cache = if strategy.is_inter_run() {
+        4 * runs * n
+    } else {
+        runs * strategy.depth()
+    };
+    let cache: u32 = args.get_parsed("cache", default_cache)?;
+    let cpu_ms: f64 = args.get_parsed("cpu-ms", 0.0)?;
+    if !(cpu_ms.is_finite() && cpu_ms >= 0.0) {
+        return Err(ArgError("--cpu-ms must be >= 0".into()));
+    }
+    let admission = match args.get("admission").unwrap_or("all-or-nothing") {
+        "all-or-nothing" | "aon" => AdmissionPolicy::AllOrNothing,
+        "greedy" => AdmissionPolicy::Greedy,
+        other => return Err(ArgError(format!("unknown admission policy '{other}'"))),
+    };
+    let choice = match args.get("choice").unwrap_or("random") {
+        "random" => PrefetchChoice::Random,
+        "least-held" => PrefetchChoice::LeastHeld,
+        "head-proximity" => PrefetchChoice::HeadProximity,
+        other => return Err(ArgError(format!("unknown prefetch choice '{other}'"))),
+    };
+    let layout = match args.get("layout").unwrap_or("concatenated") {
+        "concatenated" | "concat" => pm_core::DataLayout::Concatenated,
+        "striped" => pm_core::DataLayout::Striped,
+        other => return Err(ArgError(format!("unknown layout '{other}'"))),
+    };
+    let cap: u32 = args.get_parsed("cap", 0)?;
+    let write_disks: u32 = args.get_parsed("write-disks", 0)?;
+    let write_buffer: u32 = args.get_parsed("write-buffer", 64)?;
+    let trials: u32 = args.get_parsed("trials", 5)?;
+    if trials == 0 {
+        return Err(ArgError("--trials must be positive".into()));
+    }
+    let mut cfg = MergeConfig::paper_no_prefetch(runs, disks);
+    cfg.run_blocks = blocks;
+    cfg.strategy = strategy;
+    cfg.sync = if args.flag("sync") {
+        SyncMode::Synchronized
+    } else {
+        SyncMode::Unsynchronized
+    };
+    cfg.cache_blocks = cache;
+    cfg.cpu_per_block = SimDuration::from_millis_f64(cpu_ms);
+    cfg.admission = admission;
+    cfg.prefetch_choice = choice;
+    cfg.layout = layout;
+    cfg.per_run_cap = (cap > 0).then_some(cap);
+    cfg.write = (write_disks > 0).then_some(WriteSpec {
+        disks: write_disks,
+        buffer_blocks: write_buffer,
+    });
+    cfg.seed = args.get_parsed("seed", 1992)?;
+    cfg.validate().map_err(|e| ArgError(e.to_string()))?;
+    Ok((cfg, trials))
+}
+
+/// `pmerge simulate`
+pub fn simulate(args: &Args) -> Result<(), ArgError> {
+    args.check_known(SCENARIO_KEYS)?;
+    let (cfg, trials) = scenario(args)?;
+    let summary = run_trials(&cfg, trials).map_err(|e| ArgError(e.to_string()))?;
+    let r = &summary.reports[0];
+    println!(
+        "scenario: {} runs x {} blocks on {} disks, {} {} (N={}), cache {} blocks",
+        cfg.runs,
+        cfg.run_blocks,
+        cfg.disks,
+        cfg.strategy.label(),
+        cfg.sync.label(),
+        cfg.strategy.depth(),
+        cfg.cache_blocks,
+    );
+    println!("trials:   {trials}\n");
+    println!("total time        {}", summary.ci_total_secs);
+    println!("I/O concurrency   {:.2} (peak {})", summary.mean_concurrency, r.peak_busy_disks);
+    if let Some(ratio) = summary.mean_success_ratio {
+        println!("success ratio     {ratio:.3}");
+    }
+    println!(
+        "cost breakdown    seek {:.1}s  latency {:.1}s  transfer {:.1}s (trial 1)",
+        r.seek_total.as_secs_f64(),
+        r.latency_total.as_secs_f64(),
+        r.transfer_total.as_secs_f64()
+    );
+    println!(
+        "requests          {} total, {} sequential streams",
+        r.disk_requests, r.sequential_requests
+    );
+    if cfg.write.is_some() {
+        println!(
+            "write traffic     {} blocks, {:.1}s write-disk busy",
+            r.write_blocks,
+            r.write_busy.as_secs_f64()
+        );
+    }
+    if !cfg.cpu_per_block.is_zero() {
+        println!(
+            "CPU               busy {:.1}s, stalled on I/O {:.1}s",
+            r.cpu_busy.as_secs_f64(),
+            r.cpu_stall.as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+/// `pmerge analyze`
+pub fn analyze(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["runs", "disks", "n", "blocks"])?;
+    let k: u32 = args.get_parsed("runs", 25)?;
+    let d: u32 = args.get_parsed("disks", 5)?;
+    let n: u32 = args.get_parsed("n", 10)?;
+    let blocks: u64 = args.get_parsed("blocks", 1000u64)?;
+    if k == 0 || d == 0 || n == 0 || blocks == 0 {
+        return Err(ArgError("all parameters must be positive".into()));
+    }
+    let p = ModelParams {
+        run_blocks: blocks,
+        ..ModelParams::paper()
+    };
+    let total = |tau: f64| equations::total_seconds(&p, k, tau);
+    let mut t = Table::new(vec!["prediction".into(), "tau (ms/blk)".into(), "total (s)".into()]);
+    t.set_align(1, Align::Right);
+    t.set_align(2, Align::Right);
+    let mut row = |name: &str, tau: f64| {
+        t.add_row(vec![name.into(), format!("{tau:.3}"), format!("{:.1}", total(tau))]);
+    };
+    row("eq1: single disk, no prefetch", equations::tau_single_no_prefetch(&p, k));
+    row("eq2: single disk, intra-run", equations::tau_single_intra(&p, k, n));
+    row("eq3: D disks, no prefetch", equations::tau_multi_no_prefetch(&p, k, d));
+    row("eq4: D disks, intra-run sync", equations::tau_multi_intra_sync(&p, k, d, n));
+    row("eq5: D disks, inter-run sync", equations::tau_inter_sync(&p, k, d, n));
+    println!("closed-form predictions for k={k}, D={d}, N={n}, {blocks}-block runs\n");
+    println!("{}", t.render());
+    println!(
+        "urn-game concurrency of unsync intra-run: exact {:.2}, asymptotic {:.2} (max {d})",
+        urn::expected_concurrency(d),
+        urn::expected_concurrency_asymptotic(d)
+    );
+    println!(
+        "unsync intra-run asymptote: {:.1} s;  transfer bounds: {:.1} s (1 disk), {:.1} s ({d} disks)",
+        bounds::intra_unsync_asymptotic_secs(&p, k, d, n),
+        bounds::single_disk_lower_bound_secs(&p, k),
+        bounds::multi_disk_lower_bound_secs(&p, k, d)
+    );
+    Ok(())
+}
+
+/// `pmerge sweep`
+pub fn sweep(args: &Args) -> Result<(), ArgError> {
+    let mut allowed = SCENARIO_KEYS.to_vec();
+    allowed.extend_from_slice(&["param", "from", "to", "step"]);
+    args.check_known(&allowed)?;
+    let param = args.require("param")?.to_string();
+    let from: f64 = args.get_parsed("from", 1.0)?;
+    let to: f64 = args.get_parsed("to", 30.0)?;
+    if !(from.is_finite() && to.is_finite() && from <= to) {
+        return Err(ArgError("--from must be <= --to".into()));
+    }
+    let default_step = ((to - from) / 14.0).max(if param == "cpu-ms" { 0.05 } else { 1.0 });
+    let step: f64 = args.get_parsed("step", default_step)?;
+    if step <= 0.0 {
+        return Err(ArgError("--step must be positive".into()));
+    }
+    let (base, trials) = scenario(args)?;
+
+    let mut points = Vec::new();
+    let mut x = from;
+    while x <= to + 1e-9 {
+        let mut cfg = base;
+        match param.as_str() {
+            "n" => {
+                let n = x as u32;
+                cfg.strategy = match cfg.strategy {
+                    PrefetchStrategy::None | PrefetchStrategy::IntraRun { .. } => {
+                        PrefetchStrategy::IntraRun { n }
+                    }
+                    PrefetchStrategy::InterRun { .. } => PrefetchStrategy::InterRun { n },
+                    PrefetchStrategy::InterRunAdaptive { n_min, .. } => {
+                        PrefetchStrategy::InterRunAdaptive { n_min, n_max: n.max(n_min) }
+                    }
+                };
+                // Re-derive the default cache unless pinned explicitly.
+                if args.get("cache").is_none() {
+                    cfg.cache_blocks = if cfg.strategy.is_inter_run() {
+                        4 * cfg.runs * n
+                    } else {
+                        cfg.runs * n
+                    };
+                }
+            }
+            "cache" => cfg.cache_blocks = x as u32,
+            "cpu-ms" => cfg.cpu_per_block = SimDuration::from_millis_f64(x),
+            "disks" => cfg.disks = x as u32,
+            other => return Err(ArgError(format!("cannot sweep '{other}'"))),
+        }
+        cfg.validate().map_err(|e| ArgError(format!("at {param}={x}: {e}")))?;
+        let summary = run_trials(&cfg, trials).map_err(|e| ArgError(e.to_string()))?;
+        points.push((x, summary.mean_total_secs, summary.mean_success_ratio));
+        x += step;
+    }
+
+    let mut t = Table::new(vec![param.clone(), "total (s)".into(), "success ratio".into()]);
+    t.set_align(1, Align::Right);
+    t.set_align(2, Align::Right);
+    for &(x, secs, ratio) in &points {
+        t.add_row(vec![
+            format!("{x:.3}"),
+            format!("{secs:.2}"),
+            ratio.map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+        ]);
+    }
+    let mut plot = AsciiPlot::new(format!("total time vs {param}"), 64, 16);
+    plot.add_series("total (s)", points.iter().map(|&(x, y, _)| (x, y)).collect());
+    println!("{}", plot.render());
+    println!("{}", t.render());
+    Ok(())
+}
+
+
+/// `pmerge batch <file>`
+pub fn run_batch(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["file", "trials", "seed"])?;
+    let path = args.require("file")?;
+    let contents = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read '{path}': {e}")))?;
+    let lines = batch::parse_batch(&contents)?;
+    let default_trials: u32 = args.get_parsed("trials", 5)?;
+    let default_seed: u64 = args.get_parsed("seed", 1992)?;
+
+    let mut table = Table::new(vec![
+        "scenario".into(),
+        "total (s)".into(),
+        "±95%".into(),
+        "concurrency".into(),
+        "success ratio".into(),
+    ]);
+    for i in 1..5 {
+        table.set_align(i, Align::Right);
+    }
+    for line in lines {
+        let mut largs = batch::line_args(&line)?;
+        // Batch-level defaults apply when the line doesn't set them.
+        if largs.get("trials").is_none() {
+            largs = batch::line_args(&batch::BatchLine {
+                name: line.name.clone(),
+                tokens: {
+                    let mut t = line.tokens.clone();
+                    t.push("--trials".into());
+                    t.push(default_trials.to_string());
+                    if largs.get("seed").is_none() {
+                        t.push("--seed".into());
+                        t.push(default_seed.to_string());
+                    }
+                    t
+                },
+            })?;
+        }
+        let (cfg, trials) = scenario(&largs)
+            .map_err(|e| ArgError(format!("scenario '{}': {e}", line.name)))?;
+        let summary = run_trials(&cfg, trials).map_err(|e| ArgError(e.to_string()))?;
+        table.add_row(vec![
+            line.name,
+            format!("{:.1}", summary.mean_total_secs),
+            format!("{:.2}", summary.ci_total_secs.half_width),
+            format!("{:.2}", summary.mean_concurrency),
+            summary
+                .mean_success_ratio
+                .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn scenario_defaults_build_a_valid_config() {
+        let (cfg, trials) = scenario(&args(&["simulate"])).unwrap();
+        assert_eq!(cfg.runs, 25);
+        assert_eq!(cfg.disks, 5);
+        assert!(cfg.strategy.is_inter_run());
+        assert_eq!(cfg.cache_blocks, 4 * 25 * 10);
+        assert_eq!(trials, 5);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn scenario_parses_every_option() {
+        let (cfg, trials) = scenario(&args(&[
+            "simulate",
+            "--runs", "10", "--blocks", "100", "--disks", "2",
+            "--strategy", "intra", "--n", "4", "--cache", "80",
+            "--sync", "--cpu-ms", "0.5", "--admission", "greedy",
+            "--choice", "least-held", "--write-disks", "2",
+            "--write-buffer", "16", "--trials", "3", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.runs, 10);
+        assert_eq!(cfg.run_blocks, 100);
+        assert_eq!(cfg.strategy, PrefetchStrategy::IntraRun { n: 4 });
+        assert_eq!(cfg.sync, SyncMode::Synchronized);
+        assert_eq!(cfg.cache_blocks, 80);
+        assert_eq!(cfg.admission, AdmissionPolicy::Greedy);
+        assert_eq!(cfg.prefetch_choice, PrefetchChoice::LeastHeld);
+        assert_eq!(cfg.write, Some(WriteSpec { disks: 2, buffer_blocks: 16 }));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(trials, 3);
+    }
+
+    #[test]
+    fn scenario_rejects_bad_values() {
+        assert!(scenario(&args(&["simulate", "--strategy", "bogus"])).is_err());
+        assert!(scenario(&args(&["simulate", "--cpu-ms", "-1"])).is_err());
+        assert!(scenario(&args(&["simulate", "--trials", "0"])).is_err());
+        assert!(scenario(&args(&["simulate", "--admission", "x"])).is_err());
+        assert!(scenario(&args(&["simulate", "--choice", "x"])).is_err());
+        // Invalid merged config (cache below initial load).
+        assert!(scenario(&args(&["simulate", "--cache", "1"])).is_err());
+    }
+
+    #[test]
+    fn simulate_runs_small_scenario() {
+        simulate(&args(&[
+            "simulate", "--runs", "4", "--blocks", "20", "--disks", "2",
+            "--n", "2", "--trials", "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn analyze_prints_predictions() {
+        analyze(&args(&["analyze", "--runs", "25", "--disks", "5", "--n", "10"])).unwrap();
+        assert!(analyze(&args(&["analyze", "--runs", "0"])).is_err());
+    }
+
+    #[test]
+    fn sweep_small_range() {
+        sweep(&args(&[
+            "sweep", "--param", "n", "--from", "1", "--to", "3", "--step", "1",
+            "--runs", "4", "--blocks", "20", "--disks", "2", "--strategy", "intra",
+            "--trials", "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_ranges() {
+        assert!(sweep(&args(&["sweep", "--param", "n", "--from", "5", "--to", "1"])).is_err());
+        assert!(sweep(&args(&["sweep", "--param", "bogus", "--from", "1", "--to", "2"])).is_err());
+        assert!(sweep(&args(&["sweep"])).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_reported() {
+        assert!(simulate(&args(&["simulate", "--rnus", "25"])).is_err());
+    }
+
+    #[test]
+    fn batch_runs_a_file() {
+        let path = std::env::temp_dir().join("pmerge-batch-test.txt");
+        std::fs::write(
+            &path,
+            "a: runs=4 blocks=20 disks=2 strategy=intra n=2
+             b: runs=4 blocks=20 disks=2 strategy=inter n=2 cache=40
+",
+        )
+        .unwrap();
+        let a = args(&["batch", "--file", path.to_str().unwrap(), "--trials", "1"]);
+        run_batch(&a).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn batch_reports_bad_scenarios() {
+        let path = std::env::temp_dir().join("pmerge-batch-bad.txt");
+        std::fs::write(&path, "broken: cache=1
+").unwrap();
+        let a = args(&["batch", "--file", path.to_str().unwrap()]);
+        let err = run_batch(&a).unwrap_err();
+        assert!(err.0.contains("broken"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn batch_requires_file() {
+        assert!(run_batch(&args(&["batch"])).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! `pmerge` — command-line front end to the `prefetchmerge` reproduction
+//! of Pai & Varman (ICDE 1992).
+//!
+//! ```text
+//! pmerge simulate --runs 25 --disks 5 --strategy inter --n 10 --cache 1200
+//! pmerge analyze  --runs 25 --disks 5 --n 10
+//! pmerge sweep    --param n --from 1 --to 30 --runs 25 --disks 5 --strategy inter
+//! ```
+
+mod args;
+mod batch;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+pmerge — multi-disk prefetching simulator for external mergesort
+(reproduction of Pai & Varman, ICDE 1992)
+
+USAGE:
+    pmerge <COMMAND> [OPTIONS]
+
+COMMANDS:
+    simulate   Run one merge-phase simulation and print the report
+    analyze    Print the paper's closed-form predictions for a scenario
+    sweep      Sweep one parameter and print the measured curve
+    batch      Run every scenario in a file (--file <path>); lines are
+               'name: key=value ...' with the simulate options
+
+SCENARIO OPTIONS (simulate, sweep):
+    --runs <k>          number of sorted runs            [default: 25]
+    --blocks <B>        blocks per run                   [default: 1000]
+    --disks <D>         number of input disks            [default: 5]
+    --strategy <s>      none | intra | inter | adaptive  [default: inter]
+    --n <N>             prefetch depth per run           [default: 10]
+    --cache <C>         cache capacity in blocks         [default: k*N for
+                        none/intra, 4*k*N for inter]
+    --sync              synchronized operation (default unsynchronized)
+    --cpu-ms <f>        CPU ms to merge one block        [default: 0]
+    --admission <a>     all-or-nothing | greedy          [default: all-or-nothing]
+    --choice <c>        random | least-held | head-proximity [default: random]
+    --cap <b>           per-run held-block cap for prefetch targets (0 = off)
+    --layout <l>        concatenated | striped           [default: concatenated]
+    --write-disks <W>   model output traffic on W dedicated write disks
+    --write-buffer <b>  output buffer blocks             [default: 64]
+    --trials <t>        independent trials               [default: 5]
+    --seed <s>          master seed                      [default: 1992]
+
+SWEEP OPTIONS:
+    --param <p>         n | cache | cpu-ms | disks
+    --from <v> --to <v> inclusive range
+    --step <v>          step size                        [default: spans ~15 points]
+
+ANALYZE OPTIONS:
+    --runs, --disks, --n as above
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command() {
+        Some("simulate") => commands::simulate(&args),
+        Some("analyze") => commands::analyze(&args),
+        Some("sweep") => commands::sweep(&args),
+        Some("batch") => commands::run_batch(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\nrun 'pmerge help' for usage");
+        std::process::exit(2);
+    }
+}

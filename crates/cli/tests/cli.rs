@@ -1,0 +1,117 @@
+//! End-to-end tests of the `pmerge` binary.
+
+use std::process::Command;
+
+fn pmerge(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pmerge"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = pmerge(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("simulate"));
+}
+
+#[test]
+fn no_command_prints_usage() {
+    let (ok, stdout, _) = pmerge(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, stderr) = pmerge(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn simulate_small_scenario() {
+    let (ok, stdout, stderr) = pmerge(&[
+        "simulate", "--runs", "4", "--blocks", "30", "--disks", "2", "--n", "3", "--trials", "2",
+        "--seed", "5",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("total time"));
+    assert!(stdout.contains("I/O concurrency"));
+}
+
+#[test]
+fn simulate_is_reproducible() {
+    let args = [
+        "simulate", "--runs", "4", "--blocks", "30", "--disks", "2", "--n", "3", "--trials", "2",
+        "--seed", "5",
+    ];
+    let (_, a, _) = pmerge(&args);
+    let (_, b, _) = pmerge(&args);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn analyze_prints_equations() {
+    let (ok, stdout, _) = pmerge(&["analyze", "--runs", "25", "--disks", "5", "--n", "10"]);
+    assert!(ok);
+    assert!(stdout.contains("eq5"));
+    assert!(stdout.contains("urn-game"));
+}
+
+#[test]
+fn sweep_produces_table_and_plot() {
+    let (ok, stdout, stderr) = pmerge(&[
+        "sweep", "--param", "n", "--from", "1", "--to", "3", "--step", "1", "--runs", "4",
+        "--blocks", "20", "--disks", "2", "--strategy", "intra", "--trials", "1",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("total time vs n"));
+    assert!(stdout.contains("total (s)"));
+}
+
+#[test]
+fn invalid_option_is_rejected() {
+    let (ok, _, stderr) = pmerge(&["simulate", "--bogus", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown option"));
+}
+
+#[test]
+fn invalid_scenario_is_rejected() {
+    let (ok, _, stderr) = pmerge(&["simulate", "--cache", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("cache"));
+}
+
+#[test]
+fn striped_layout_flag_works() {
+    let (ok, stdout, stderr) = pmerge(&[
+        "simulate", "--runs", "4", "--blocks", "40", "--disks", "2", "--strategy", "intra",
+        "--n", "4", "--layout", "striped", "--trials", "1",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("total time"));
+}
+
+#[test]
+fn batch_command_end_to_end() {
+    let path = std::env::temp_dir().join("pmerge-e2e-batch.txt");
+    std::fs::write(
+        &path,
+        "# comparison\nbaseline: runs=4 blocks=20 disks=1 strategy=none\nfast: runs=4 blocks=20 disks=2 strategy=inter n=2 cache=40\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = pmerge(&["batch", "--file", path.to_str().unwrap(), "--trials", "1"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("baseline"));
+    assert!(stdout.contains("fast"));
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,383 @@
+//! Simulation configuration.
+
+use pm_cache::AdmissionPolicy;
+use pm_disk::{DiskSpec, QueueDiscipline};
+use pm_sim::SimDuration;
+
+use crate::{PrefetchChoice, PrefetchStrategy, SyncMode, WriteSpec};
+
+/// How run data is placed on the input disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataLayout {
+    /// Each run stored contiguously on one disk, runs distributed
+    /// round-robin — the paper's arrangement.
+    #[default]
+    Concatenated,
+    /// Every run block-striped across all disks (the declustered
+    /// arrangement of the paper's related work). Incompatible with
+    /// inter-run prefetching, whose premise is that each run has a home
+    /// disk.
+    Striped,
+}
+
+/// A fully specified merge-phase simulation.
+///
+/// Use the `paper_*` constructors for the configurations evaluated in the
+/// paper, then adjust fields as needed. Pass the result to
+/// [`MergeSim::run`](crate::MergeSim::run) or
+/// [`run_trials`](crate::run_trials).
+///
+/// # Examples
+///
+/// ```
+/// use pm_core::{MergeConfig, MergeSim, PrefetchStrategy};
+///
+/// // The paper's headline configuration: 25 runs over 5 disks with
+/// // combined inter-run + intra-run prefetching of depth 10.
+/// let mut cfg = MergeConfig::paper_inter(25, 5, 10, 1200);
+/// cfg.seed = 42;
+/// assert!(cfg.validate().is_ok());
+///
+/// // Scale it down for a quick run.
+/// cfg.runs = 5;
+/// cfg.run_blocks = 50;
+/// cfg.cache_blocks = 250;
+/// let report = MergeSim::run_uniform(cfg).unwrap();
+/// assert_eq!(report.blocks_merged, 250);
+/// assert!(report.success_ratio.is_some());
+/// # let _ = PrefetchStrategy::None;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeConfig {
+    /// Number of sorted runs `k`.
+    pub runs: u32,
+    /// Blocks per run `B` (the paper uses 1000).
+    pub run_blocks: u32,
+    /// Number of input disks `D`.
+    pub disks: u32,
+    /// Placement of run data on the disks.
+    pub layout: DataLayout,
+    /// Prefetching strategy.
+    pub strategy: PrefetchStrategy,
+    /// Synchronized or unsynchronized operation.
+    pub sync: SyncMode,
+    /// Cache capacity `C` in blocks.
+    pub cache_blocks: u32,
+    /// CPU time to merge one block (zero models the paper's
+    /// infinitely fast CPU).
+    pub cpu_per_block: SimDuration,
+    /// Cache admission policy for prefetch operations.
+    pub admission: AdmissionPolicy,
+    /// How inter-run prefetching picks the run to read on each non-demand
+    /// disk.
+    pub prefetch_choice: PrefetchChoice,
+    /// Optional cap on a run's held blocks (resident + in-flight) above
+    /// which it is no longer an inter-run prefetch target. `None`
+    /// reproduces the paper. Prevents cache clogging when a disk holds few
+    /// runs: with a single run per disk, every operation otherwise pours
+    /// `N` more blocks onto the same run until the cache fills.
+    pub per_run_cap: Option<u32>,
+    /// Disk queue scheduling discipline.
+    pub discipline: QueueDiscipline,
+    /// Disk geometry and timing.
+    pub disk_spec: DiskSpec,
+    /// Optional output subsystem. `None` reproduces the paper (write
+    /// traffic excluded, assumed to go to separate disks with ample
+    /// bandwidth).
+    pub write: Option<WriteSpec>,
+    /// Master random seed (depletion choices, prefetch-run choices, and
+    /// per-disk latency streams all derive from it).
+    pub seed: u64,
+}
+
+/// Why a [`MergeConfig`] is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `runs`, `run_blocks`, or `disks` is zero.
+    ZeroParameter(&'static str),
+    /// The prefetch depth `N` is zero.
+    ZeroDepth,
+    /// The cache cannot hold the initial load of
+    /// `runs × min(N, run_blocks)` blocks.
+    CacheTooSmall {
+        /// Configured capacity.
+        have: u32,
+        /// Minimum required capacity.
+        need: u32,
+    },
+    /// Striped layout combined with inter-run prefetching (which requires
+    /// each run to have a home disk).
+    StripedInterRun,
+    /// A disk cannot hold its share of runs.
+    DiskTooSmall {
+        /// Blocks required on the fullest disk.
+        need: u64,
+        /// Disk capacity in blocks.
+        have: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroParameter(what) => write!(f, "{what} must be positive"),
+            ConfigError::ZeroDepth => write!(f, "prefetch depth N must be positive"),
+            ConfigError::StripedInterRun => write!(
+                f,
+                "inter-run prefetching requires the concatenated layout"
+            ),
+            ConfigError::CacheTooSmall { have, need } => write!(
+                f,
+                "cache of {have} blocks cannot hold the initial load of {need} blocks"
+            ),
+            ConfigError::DiskTooSmall { need, have } => write!(
+                f,
+                "fullest disk needs {need} blocks but holds only {have}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl MergeConfig {
+    /// The paper's no-prefetching baseline: cache of `k` blocks, one per
+    /// run.
+    #[must_use]
+    pub fn paper_no_prefetch(k: u32, d: u32) -> Self {
+        MergeConfig {
+            runs: k,
+            run_blocks: 1000,
+            disks: d,
+            layout: DataLayout::Concatenated,
+            strategy: PrefetchStrategy::None,
+            sync: SyncMode::Unsynchronized,
+            cache_blocks: k,
+            cpu_per_block: SimDuration::ZERO,
+            admission: AdmissionPolicy::AllOrNothing,
+            prefetch_choice: PrefetchChoice::Random,
+            per_run_cap: None,
+            discipline: QueueDiscipline::Fifo,
+            disk_spec: DiskSpec::paper(),
+            write: None,
+            seed: 0,
+        }
+    }
+
+    /// The paper's intra-run ("Demand Run Only") configuration: cache of
+    /// exactly `k·N` blocks, which guarantees every `N`-block fetch fits.
+    #[must_use]
+    pub fn paper_intra(k: u32, d: u32, n: u32) -> Self {
+        MergeConfig {
+            strategy: PrefetchStrategy::IntraRun { n },
+            cache_blocks: k * n,
+            ..Self::paper_no_prefetch(k, d)
+        }
+    }
+
+    /// The paper's combined inter-run + intra-run ("All Disks One Run")
+    /// configuration with an explicit cache size (the independent variable
+    /// of Figures 5 and 6).
+    #[must_use]
+    pub fn paper_inter(k: u32, d: u32, n: u32, cache_blocks: u32) -> Self {
+        MergeConfig {
+            strategy: PrefetchStrategy::InterRun { n },
+            cache_blocks,
+            ..Self::paper_no_prefetch(k, d)
+        }
+    }
+
+    /// Minimum cache capacity: the initial load places
+    /// `min(N, run_blocks)` blocks of every run.
+    #[must_use]
+    pub fn min_cache_blocks(&self) -> u32 {
+        self.runs * self.strategy.depth().min(self.run_blocks)
+    }
+
+    /// Checks the configuration for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.runs == 0 {
+            return Err(ConfigError::ZeroParameter("runs"));
+        }
+        if self.run_blocks == 0 {
+            return Err(ConfigError::ZeroParameter("run_blocks"));
+        }
+        if self.disks == 0 {
+            return Err(ConfigError::ZeroParameter("disks"));
+        }
+        if self.strategy.depth() == 0 {
+            return Err(ConfigError::ZeroDepth);
+        }
+        if let PrefetchStrategy::InterRunAdaptive { n_min, n_max } = self.strategy {
+            if n_min == 0 || n_max < n_min {
+                return Err(ConfigError::ZeroDepth);
+            }
+        }
+        let need = self.min_cache_blocks();
+        if self.cache_blocks < need {
+            return Err(ConfigError::CacheTooSmall {
+                have: self.cache_blocks,
+                need,
+            });
+        }
+        if self.layout == DataLayout::Striped && self.strategy.is_inter_run() {
+            return Err(ConfigError::StripedInterRun);
+        }
+        let have_blocks = self.disk_spec.geometry.capacity_blocks();
+        let need_blocks = match self.layout {
+            DataLayout::Concatenated => {
+                let runs_on_fullest = self.runs.div_ceil(self.disks);
+                u64::from(runs_on_fullest) * u64::from(self.run_blocks)
+            }
+            DataLayout::Striped => {
+                u64::from(self.runs) * u64::from(self.run_blocks.div_ceil(self.disks))
+            }
+        };
+        if need_blocks > have_blocks {
+            return Err(ConfigError::DiskTooSmall {
+                need: need_blocks,
+                have: have_blocks,
+            });
+        }
+        if let Some(write) = self.write {
+            if write.disks == 0 {
+                return Err(ConfigError::ZeroParameter("write disks"));
+            }
+            if write.buffer_blocks == 0 {
+                return Err(ConfigError::ZeroParameter("write buffer"));
+            }
+            let per_disk = self.total_blocks().div_ceil(u64::from(write.disks));
+            if per_disk > have_blocks {
+                return Err(ConfigError::DiskTooSmall {
+                    need: per_disk,
+                    have: have_blocks,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of blocks the merge consumes.
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        u64::from(self.runs) * u64::from(self.run_blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constructors_validate() {
+        assert!(MergeConfig::paper_no_prefetch(25, 1).validate().is_ok());
+        assert!(MergeConfig::paper_no_prefetch(25, 5).validate().is_ok());
+        assert!(MergeConfig::paper_intra(50, 10, 30).validate().is_ok());
+        assert!(MergeConfig::paper_inter(25, 5, 10, 600).validate().is_ok());
+    }
+
+    #[test]
+    fn intra_cache_is_kn() {
+        let c = MergeConfig::paper_intra(25, 5, 10);
+        assert_eq!(c.cache_blocks, 250);
+        assert_eq!(c.min_cache_blocks(), 250);
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        c.runs = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroParameter("runs")));
+
+        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        c.disks = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroParameter("disks")));
+
+        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        c.run_blocks = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroParameter("run_blocks")));
+
+        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        c.strategy = PrefetchStrategy::IntraRun { n: 0 };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroDepth));
+    }
+
+    #[test]
+    fn undersized_cache_rejected() {
+        let mut c = MergeConfig::paper_intra(25, 5, 10);
+        c.cache_blocks = 249;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::CacheTooSmall {
+                have: 249,
+                need: 250
+            })
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_disk_rejected() {
+        let c = MergeConfig::paper_no_prefetch(60, 1);
+        assert!(matches!(c.validate(), Err(ConfigError::DiskTooSmall { .. })));
+    }
+
+    #[test]
+    fn min_cache_clamps_to_run_length() {
+        let mut c = MergeConfig::paper_intra(4, 2, 50);
+        c.run_blocks = 20;
+        assert_eq!(c.min_cache_blocks(), 4 * 20);
+    }
+
+    #[test]
+    fn total_blocks() {
+        assert_eq!(MergeConfig::paper_no_prefetch(25, 5).total_blocks(), 25_000);
+    }
+
+    #[test]
+    fn write_spec_is_validated() {
+        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        c.write = Some(crate::WriteSpec { disks: 2, buffer_blocks: 32 });
+        assert!(c.validate().is_ok());
+        c.write = Some(crate::WriteSpec { disks: 0, buffer_blocks: 32 });
+        assert_eq!(c.validate(), Err(ConfigError::ZeroParameter("write disks")));
+        c.write = Some(crate::WriteSpec { disks: 2, buffer_blocks: 0 });
+        assert_eq!(c.validate(), Err(ConfigError::ZeroParameter("write buffer")));
+    }
+
+    #[test]
+    fn undersized_write_disks_rejected() {
+        // 50 runs x 1000 blocks on one write disk: 50,000 > 53,760 fits;
+        // bump runs so it does not.
+        let mut c = MergeConfig::paper_no_prefetch(50, 10);
+        c.write = Some(crate::WriteSpec { disks: 1, buffer_blocks: 8 });
+        assert!(c.validate().is_ok());
+        c.runs = 54;
+        c.cache_blocks = 54;
+        assert!(matches!(c.validate(), Err(ConfigError::DiskTooSmall { .. })));
+    }
+
+    #[test]
+    fn striped_layout_validates() {
+        let mut c = MergeConfig::paper_intra(25, 5, 10);
+        c.layout = DataLayout::Striped;
+        assert!(c.validate().is_ok());
+        // Striping lets even 100 runs fit on one "disk" worth of bands.
+        c.runs = 100;
+        c.cache_blocks = 1000;
+        assert!(c.validate().is_ok());
+        // But inter-run prefetching is incompatible.
+        c.strategy = PrefetchStrategy::InterRun { n: 10 };
+        assert_eq!(c.validate(), Err(ConfigError::StripedInterRun));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ConfigError::CacheTooSmall { have: 1, need: 2 };
+        assert!(e.to_string().contains("initial load"));
+        assert!(ConfigError::ZeroDepth.to_string().contains('N'));
+    }
+}

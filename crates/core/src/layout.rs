@@ -1,0 +1,389 @@
+//! Placement of sorted runs on the disk array.
+
+use pm_cache::RunId;
+use pm_disk::{BlockAddr, DiskGeometry, DiskId};
+
+/// Where one run lives: its disk and the address of its first block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPlacement {
+    /// Disk holding the run.
+    pub disk: DiskId,
+    /// First block of the run on that disk.
+    pub start: BlockAddr,
+}
+
+/// Assignment of `k` runs to `D` disks.
+///
+/// Runs are distributed round-robin (`run r → disk r mod D`, so each disk
+/// holds `⌈k/D⌉` or `⌊k/D⌋` runs) and placed contiguously on each disk in
+/// assignment order, matching the paper's "`k` runs equally distributed
+/// over `D` disks … placed contiguously". Runs may have different lengths
+/// (replacement-selection run formation produces them); the paper's setup
+/// is the uniform special case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunLayout {
+    /// Concatenated layout: per-run home placement. Empty when striped.
+    placements: Vec<RunPlacement>,
+    runs_by_disk: Vec<Vec<RunId>>,
+    lengths: Vec<u32>,
+    /// Striped layout: per-run base offset on every disk, plus the stripe
+    /// width (the disk count). `stripe` is 0 for concatenated layouts.
+    stripe_bases: Vec<u64>,
+    stripe: u32,
+}
+
+impl RunLayout {
+    /// Lays out `k` runs of `run_blocks` blocks each across `d` disks with
+    /// the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or a disk cannot hold its share of
+    /// runs.
+    #[must_use]
+    pub fn contiguous(k: u32, run_blocks: u32, d: u32, geometry: &DiskGeometry) -> Self {
+        assert!(k > 0, "need at least one run");
+        Self::contiguous_lengths(&vec![run_blocks; k as usize], d, geometry)
+    }
+
+    /// Lays out runs of the given (possibly different) lengths across `d`
+    /// disks: run `r` goes to disk `r mod d` and is placed immediately
+    /// after the previous run on that disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengths` is empty, any run is empty, `d == 0`, or a disk
+    /// cannot hold its share of runs.
+    #[must_use]
+    pub fn contiguous_lengths(lengths: &[u32], d: u32, geometry: &DiskGeometry) -> Self {
+        assert!(!lengths.is_empty(), "need at least one run");
+        assert!(d > 0, "need at least one disk");
+        let mut placements = Vec::with_capacity(lengths.len());
+        let mut runs_by_disk: Vec<Vec<RunId>> = vec![Vec::new(); d as usize];
+        let mut next_free: Vec<u64> = vec![0; d as usize];
+        for (r, &len) in lengths.iter().enumerate() {
+            assert!(len > 0, "run {r} is empty");
+            let disk = r % d as usize;
+            let start = BlockAddr(next_free[disk]);
+            assert!(
+                geometry.contains_span(start, u64::from(len)),
+                "disk {disk} cannot hold run {r}: {} blocks needed, capacity {}",
+                next_free[disk] + u64::from(len),
+                geometry.capacity_blocks()
+            );
+            next_free[disk] += u64::from(len);
+            placements.push(RunPlacement {
+                disk: DiskId(disk as u16),
+                start,
+            });
+            runs_by_disk[disk].push(RunId(r as u32));
+        }
+        RunLayout {
+            placements,
+            runs_by_disk,
+            lengths: lengths.to_vec(),
+            stripe_bases: Vec::new(),
+            stripe: 0,
+        }
+    }
+
+    /// Lays out runs **block-striped** across all `d` disks: block `i` of a
+    /// run lives on disk `i mod d`, and each run occupies the same
+    /// `⌈len/d⌉`-block band on every disk, bands stacked in run order.
+    /// This is the declustered arrangement of the paper's related work
+    /// (Salem & García-Molina; Kim) — every run can be read with `d`-way
+    /// parallelism, at the price of every run sharing every disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengths` is empty, any run is empty, `d == 0`, or the
+    /// bands exceed disk capacity.
+    #[must_use]
+    pub fn striped(lengths: &[u32], d: u32, geometry: &DiskGeometry) -> Self {
+        assert!(!lengths.is_empty(), "need at least one run");
+        assert!(d > 0, "need at least one disk");
+        let mut stripe_bases = Vec::with_capacity(lengths.len());
+        let mut next_base = 0u64;
+        for (r, &len) in lengths.iter().enumerate() {
+            assert!(len > 0, "run {r} is empty");
+            stripe_bases.push(next_base);
+            let band = u64::from(len.div_ceil(d));
+            assert!(
+                next_base + band <= geometry.capacity_blocks(),
+                "disks cannot hold striped run {r}: band ends at {}, capacity {}",
+                next_base + band,
+                geometry.capacity_blocks()
+            );
+            next_base += band;
+        }
+        // All runs live on all disks.
+        let all: Vec<RunId> = (0..lengths.len() as u32).map(RunId).collect();
+        RunLayout {
+            placements: Vec::new(),
+            runs_by_disk: vec![all; d as usize],
+            lengths: lengths.to_vec(),
+            stripe_bases,
+            stripe: d,
+        }
+    }
+
+    /// `true` for a block-striped layout.
+    #[must_use]
+    pub fn is_striped(&self) -> bool {
+        self.stripe > 0
+    }
+
+    /// Distance (in block indices of the same run) between two consecutive
+    /// blocks on the same disk: 1 for concatenated, `d` for striped. The
+    /// simulator uses it to decide which blocks of an operation stream.
+    #[must_use]
+    pub fn same_disk_stride(&self) -> u32 {
+        if self.stripe > 0 {
+            self.stripe
+        } else {
+            1
+        }
+    }
+
+    /// The disk and on-disk address of block `index` of `run`, under
+    /// either layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` or `index` is out of range.
+    #[must_use]
+    pub fn location(&self, run: RunId, index: u32) -> (DiskId, BlockAddr) {
+        assert!(index < self.run_len(run), "block index beyond run length");
+        if self.stripe > 0 {
+            let disk = DiskId((index % self.stripe) as u16);
+            let offset = u64::from(index / self.stripe);
+            (disk, BlockAddr(self.stripe_bases[run.0 as usize] + offset))
+        } else {
+            let p = self.placements[run.0 as usize];
+            (p.disk, p.start.offset(u64::from(index)))
+        }
+    }
+
+    /// The single disk holding `run` for concatenated layouts; `None` when
+    /// striped (the run spans every disk).
+    #[must_use]
+    pub fn home_disk(&self, run: RunId) -> Option<DiskId> {
+        if self.stripe > 0 {
+            None
+        } else {
+            Some(self.placements[run.0 as usize].disk)
+        }
+    }
+
+    /// Number of runs.
+    #[must_use]
+    pub fn num_runs(&self) -> u32 {
+        self.placements.len() as u32
+    }
+
+    /// Number of disks.
+    #[must_use]
+    pub fn num_disks(&self) -> u32 {
+        self.runs_by_disk.len() as u32
+    }
+
+    /// Length in blocks of `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn run_len(&self, run: RunId) -> u32 {
+        self.lengths[run.0 as usize]
+    }
+
+    /// Total blocks across all runs.
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        self.lengths.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Placement of `run` (concatenated layouts only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range or the layout is striped (striped
+    /// runs have no single placement; use [`RunLayout::location`]).
+    #[must_use]
+    pub fn placement(&self, run: RunId) -> RunPlacement {
+        assert!(self.stripe == 0, "striped runs have no single placement");
+        self.placements[run.0 as usize]
+    }
+
+    /// Address of block `index` within `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` or `index` is out of range.
+    #[must_use]
+    pub fn block_addr(&self, run: RunId, index: u32) -> BlockAddr {
+        assert!(index < self.run_len(run), "block index beyond run length");
+        self.placement(run).start.offset(u64::from(index))
+    }
+
+    /// Runs stored on `disk`, in placement order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` is out of range.
+    #[must_use]
+    pub fn runs_on_disk(&self, disk: DiskId) -> &[RunId] {
+        &self.runs_by_disk[disk.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> DiskGeometry {
+        DiskGeometry::paper()
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let l = RunLayout::contiguous(25, 1000, 5, &geometry());
+        assert_eq!(l.num_runs(), 25);
+        assert_eq!(l.num_disks(), 5);
+        for r in 0..25u32 {
+            assert_eq!(l.placement(RunId(r)).disk, DiskId((r % 5) as u16));
+        }
+        // Each disk holds exactly 5 runs.
+        for d in 0..5u16 {
+            assert_eq!(l.runs_on_disk(DiskId(d)).len(), 5);
+        }
+    }
+
+    #[test]
+    fn contiguous_placement_on_each_disk() {
+        let l = RunLayout::contiguous(25, 1000, 5, &geometry());
+        // Runs 0, 5, 10, ... live on disk 0 at 0, 1000, 2000, ...
+        assert_eq!(l.placement(RunId(0)).start, BlockAddr(0));
+        assert_eq!(l.placement(RunId(5)).start, BlockAddr(1000));
+        assert_eq!(l.placement(RunId(10)).start, BlockAddr(2000));
+        // Different disks reuse the same addresses.
+        assert_eq!(l.placement(RunId(1)).start, BlockAddr(0));
+    }
+
+    #[test]
+    fn uneven_distribution_is_allowed() {
+        let l = RunLayout::contiguous(7, 100, 3, &geometry());
+        assert_eq!(l.runs_on_disk(DiskId(0)).len(), 3);
+        assert_eq!(l.runs_on_disk(DiskId(1)).len(), 2);
+        assert_eq!(l.runs_on_disk(DiskId(2)).len(), 2);
+    }
+
+    #[test]
+    fn block_addresses() {
+        let l = RunLayout::contiguous(4, 1000, 2, &geometry());
+        assert_eq!(l.block_addr(RunId(2), 0), BlockAddr(1000));
+        assert_eq!(l.block_addr(RunId(2), 999), BlockAddr(1999));
+    }
+
+    #[test]
+    fn single_disk_holds_everything() {
+        let l = RunLayout::contiguous(50, 1000, 1, &geometry());
+        assert_eq!(l.runs_on_disk(DiskId(0)).len(), 50);
+        assert_eq!(l.placement(RunId(49)).start, BlockAddr(49_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold run")]
+    fn overflow_rejected() {
+        // 60 runs of 1000 blocks on one 840-cylinder disk (53,760 blocks).
+        let _ = RunLayout::contiguous(60, 1000, 1, &geometry());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond run length")]
+    fn block_index_out_of_range() {
+        let l = RunLayout::contiguous(2, 10, 1, &geometry());
+        let _ = l.block_addr(RunId(0), 10);
+    }
+
+    #[test]
+    fn variable_lengths_pack_contiguously_per_disk() {
+        // Runs 0..4 with lengths 100, 50, 200, 25 over two disks:
+        // disk 0 holds runs 0 (at 0) and 2 (at 100);
+        // disk 1 holds runs 1 (at 0) and 3 (at 50).
+        let l = RunLayout::contiguous_lengths(&[100, 50, 200, 25], 2, &geometry());
+        assert_eq!(l.placement(RunId(0)).start, BlockAddr(0));
+        assert_eq!(l.placement(RunId(2)).start, BlockAddr(100));
+        assert_eq!(l.placement(RunId(1)).start, BlockAddr(0));
+        assert_eq!(l.placement(RunId(3)).start, BlockAddr(50));
+        assert_eq!(l.run_len(RunId(2)), 200);
+        assert_eq!(l.total_blocks(), 375);
+        // Last block of run 2 is addressable, one past is not.
+        assert_eq!(l.block_addr(RunId(2), 199), BlockAddr(299));
+    }
+
+    #[test]
+    fn uniform_layout_matches_lengths_layout() {
+        let a = RunLayout::contiguous(6, 100, 3, &geometry());
+        let b = RunLayout::contiguous_lengths(&[100; 6], 3, &geometry());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "run 1 is empty")]
+    fn empty_run_rejected() {
+        let _ = RunLayout::contiguous_lengths(&[10, 0], 1, &geometry());
+    }
+
+    #[test]
+    fn striped_blocks_round_robin_across_disks() {
+        let l = RunLayout::striped(&[10, 10], 4, &geometry());
+        assert!(l.is_striped());
+        assert_eq!(l.same_disk_stride(), 4);
+        // Run 0, blocks 0..4 land on disks 0..4 at offset 0.
+        for i in 0..4u32 {
+            let (disk, addr) = l.location(RunId(0), i);
+            assert_eq!(disk, DiskId(i as u16));
+            assert_eq!(addr, BlockAddr(0));
+        }
+        // Block 4 wraps to disk 0 at offset 1.
+        assert_eq!(l.location(RunId(0), 4), (DiskId(0), BlockAddr(1)));
+        // Run 1's band starts after run 0's ceil(10/4) = 3 blocks.
+        assert_eq!(l.location(RunId(1), 0), (DiskId(0), BlockAddr(3)));
+        assert_eq!(l.home_disk(RunId(0)), None);
+    }
+
+    #[test]
+    fn striped_every_disk_sees_every_run() {
+        let l = RunLayout::striped(&[8, 8, 8], 2, &geometry());
+        for d in 0..2u16 {
+            assert_eq!(l.runs_on_disk(DiskId(d)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn concatenated_location_matches_block_addr() {
+        let l = RunLayout::contiguous(4, 100, 2, &geometry());
+        let (disk, addr) = l.location(RunId(2), 42);
+        assert_eq!(disk, l.placement(RunId(2)).disk);
+        assert_eq!(addr, l.block_addr(RunId(2), 42));
+        assert!(!l.is_striped());
+        assert_eq!(l.same_disk_stride(), 1);
+        assert_eq!(l.home_disk(RunId(2)), Some(DiskId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no single placement")]
+    fn striped_placement_rejected() {
+        let l = RunLayout::striped(&[10], 2, &geometry());
+        let _ = l.placement(RunId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold striped run")]
+    fn striped_capacity_checked() {
+        // 2 disks, capacity 53,760 blocks each; bands of 30,000 × 2 runs
+        // exceed it.
+        let _ = RunLayout::striped(&[60_000, 60_000], 2, &geometry());
+    }
+}

@@ -1,0 +1,124 @@
+//! Inter-run prefetch target selection.
+//!
+//! When an inter-run operation fetches from each non-demand disk, *which*
+//! run on that disk should it read? The paper chooses uniformly at random,
+//! reporting that the head-position-based heuristics studied in its
+//! companion report offered too little benefit to justify their
+//! bookkeeping. This module implements that choice plus two informed
+//! policies so the claim can be re-examined (`ablation_prefetch` in
+//! `pm-bench`):
+//!
+//! * [`PrefetchChoice::Random`] — the paper's policy.
+//! * [`PrefetchChoice::LeastHeld`] — the run on the disk holding the
+//!   fewest cached + in-flight blocks, i.e. the one closest to causing a
+//!   demand stall (an urgency heuristic).
+//! * [`PrefetchChoice::HeadProximity`] — the run whose next block is
+//!   closest to the disk head's current cylinder (the seek-minimizing
+//!   heuristic the paper alludes to).
+
+use pm_cache::RunId;
+use pm_sim::SimRng;
+
+/// How the inter-run strategy picks the run to prefetch on a non-demand
+/// disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchChoice {
+    /// Uniformly random among the disk's fetchable runs (the paper).
+    #[default]
+    Random,
+    /// The fetchable run with the fewest held (resident + in-flight)
+    /// blocks; ties broken by lower run id.
+    LeastHeld,
+    /// The fetchable run whose next unfetched block lies closest to the
+    /// disk's current head cylinder; ties broken by lower run id.
+    HeadProximity,
+}
+
+impl PrefetchChoice {
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrefetchChoice::Random => "random",
+            PrefetchChoice::LeastHeld => "least-held",
+            PrefetchChoice::HeadProximity => "head-proximity",
+        }
+    }
+
+    /// Picks one of `candidates` (non-empty). `score` must return the
+    /// policy's key for a candidate: held count for [`Self::LeastHeld`],
+    /// cylinder distance for [`Self::HeadProximity`]; it is ignored for
+    /// [`Self::Random`].
+    pub(crate) fn pick(
+        self,
+        rng: &mut SimRng,
+        candidates: &[RunId],
+        mut score: impl FnMut(RunId) -> u64,
+    ) -> RunId {
+        debug_assert!(!candidates.is_empty());
+        match self {
+            PrefetchChoice::Random => *rng.choose(candidates),
+            PrefetchChoice::LeastHeld | PrefetchChoice::HeadProximity => {
+                let mut best = candidates[0];
+                let mut best_score = score(best);
+                for &c in &candidates[1..] {
+                    let s = score(c);
+                    if s < best_score || (s == best_score && c < best) {
+                        best = c;
+                        best_score = s;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs(ids: &[u32]) -> Vec<RunId> {
+        ids.iter().map(|&i| RunId(i)).collect()
+    }
+
+    #[test]
+    fn random_picks_a_candidate() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let candidates = runs(&[3, 7, 9]);
+        for _ in 0..50 {
+            let pick = PrefetchChoice::Random.pick(&mut rng, &candidates, |_| 0);
+            assert!(candidates.contains(&pick));
+        }
+    }
+
+    #[test]
+    fn informed_policies_minimize_score() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let candidates = runs(&[1, 2, 3]);
+        let pick = PrefetchChoice::LeastHeld.pick(&mut rng, &candidates, |r| {
+            u64::from(10 - r.0) // run 3 has the lowest score
+        });
+        assert_eq!(pick, RunId(3));
+    }
+
+    #[test]
+    fn ties_break_to_lower_run_id() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let candidates = runs(&[5, 2, 8]);
+        let pick = PrefetchChoice::HeadProximity.pick(&mut rng, &candidates, |_| 4);
+        assert_eq!(pick, RunId(2));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PrefetchChoice::Random.label(), "random");
+        assert_eq!(PrefetchChoice::LeastHeld.label(), "least-held");
+        assert_eq!(PrefetchChoice::HeadProximity.label(), "head-proximity");
+    }
+
+    #[test]
+    fn default_is_the_papers_policy() {
+        assert_eq!(PrefetchChoice::default(), PrefetchChoice::Random);
+    }
+}

@@ -1,0 +1,168 @@
+//! Multi-trial experiment driver.
+
+use pm_sim::SimRng;
+use pm_stats::{ConfidenceInterval, OnlineStats};
+
+use crate::{ConfigError, MergeConfig, MergeReport, MergeSim, UniformDepletion};
+
+/// Aggregated results of several independent trials of one configuration.
+///
+/// The paper averages a handful of independent simulation trials per data
+/// point; this mirrors that procedure, deriving each trial's seed from the
+/// configuration's master seed.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    /// Per-trial reports, in trial order.
+    pub reports: Vec<MergeReport>,
+    /// Mean total execution time in seconds.
+    pub mean_total_secs: f64,
+    /// 95% confidence interval on the total time (seconds).
+    pub ci_total_secs: ConfidenceInterval,
+    /// Mean success ratio across trials, if the strategy reports one.
+    pub mean_success_ratio: Option<f64>,
+    /// Mean I/O concurrency (busy disks averaged over busy time).
+    pub mean_concurrency: f64,
+    /// Mean busy-disk count averaged over the whole run.
+    pub mean_busy_disks: f64,
+}
+
+/// Runs `trials` independent simulations of `cfg` under the uniform
+/// depletion model and aggregates the results.
+///
+/// # Examples
+///
+/// ```
+/// use pm_core::{run_trials, MergeConfig};
+///
+/// let mut cfg = MergeConfig::paper_intra(4, 2, 5);
+/// cfg.run_blocks = 40;
+/// let summary = run_trials(&cfg, 3).unwrap();
+/// assert_eq!(summary.trials(), 3);
+/// assert!(summary.mean_total_secs > 0.0);
+/// assert!(summary.ci_total_secs.contains(summary.mean_total_secs));
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if `cfg` is invalid.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn run_trials(cfg: &MergeConfig, trials: u32) -> Result<TrialSummary, ConfigError> {
+    assert!(trials > 0, "need at least one trial");
+    cfg.validate()?;
+    let mut master = SimRng::seed_from_u64(cfg.seed);
+    let mut reports = Vec::with_capacity(trials as usize);
+    for _ in 0..trials {
+        let mut trial_cfg = *cfg;
+        trial_cfg.seed = master.next_u64();
+        let report = MergeSim::new(trial_cfg)?.run(&mut UniformDepletion);
+        reports.push(report);
+    }
+    Ok(TrialSummary::from_reports(reports))
+}
+
+impl TrialSummary {
+    /// Aggregates pre-computed per-trial reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    #[must_use]
+    pub fn from_reports(reports: Vec<MergeReport>) -> Self {
+        assert!(!reports.is_empty(), "need at least one report");
+        let mut totals = OnlineStats::new();
+        let mut concurrency = OnlineStats::new();
+        let mut busy = OnlineStats::new();
+        let mut ratios = OnlineStats::new();
+        for r in &reports {
+            totals.push(r.total.as_secs_f64());
+            concurrency.push(r.avg_concurrency);
+            busy.push(r.avg_busy_disks);
+            if let Some(s) = r.success_ratio {
+                ratios.push(s);
+            }
+        }
+        TrialSummary {
+            mean_total_secs: totals.mean(),
+            ci_total_secs: ConfidenceInterval::from_stats(&totals, 0.95),
+            mean_success_ratio: if ratios.is_empty() {
+                None
+            } else {
+                Some(ratios.mean())
+            },
+            mean_concurrency: concurrency.mean(),
+            mean_busy_disks: busy.mean(),
+            reports,
+        }
+    }
+
+    /// Number of trials aggregated.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.reports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PrefetchStrategy, SyncMode};
+    use pm_cache::AdmissionPolicy;
+    use pm_sim::SimDuration;
+
+    fn cfg() -> MergeConfig {
+        MergeConfig {
+            runs: 6,
+            run_blocks: 30,
+            disks: 3,
+            layout: crate::DataLayout::Concatenated,
+            strategy: PrefetchStrategy::InterRun { n: 3 },
+            sync: SyncMode::Unsynchronized,
+            cache_blocks: 60,
+            cpu_per_block: SimDuration::ZERO,
+            admission: AdmissionPolicy::AllOrNothing,
+            prefetch_choice: crate::PrefetchChoice::Random,
+            per_run_cap: None,
+            discipline: pm_disk::QueueDiscipline::Fifo,
+            disk_spec: pm_disk::DiskSpec::paper(),
+            write: None,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn trials_are_independent_but_reproducible() {
+        let a = run_trials(&cfg(), 4).unwrap();
+        assert_eq!(a.trials(), 4);
+        // Different trials see different random streams.
+        assert!(a.reports.windows(2).any(|w| w[0].total != w[1].total));
+        // The whole procedure is reproducible.
+        let b = run_trials(&cfg(), 4).unwrap();
+        assert_eq!(a.mean_total_secs, b.mean_total_secs);
+    }
+
+    #[test]
+    fn summary_statistics_are_consistent() {
+        let s = run_trials(&cfg(), 5).unwrap();
+        assert!(s.mean_total_secs > 0.0);
+        assert!(s.ci_total_secs.contains(s.mean_total_secs));
+        assert!(s.mean_concurrency >= s.mean_busy_disks);
+        let ratio = s.mean_success_ratio.unwrap();
+        assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    #[test]
+    fn invalid_config_propagates() {
+        let mut c = cfg();
+        c.cache_blocks = 1;
+        assert!(run_trials(&c, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = run_trials(&cfg(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Execution timelines: what every disk (and the CPU) was doing, when.
+//!
+//! The paper's core argument is about *overlap* — synchronized operation
+//! serializes disk service, unsynchronized operation overlaps it, and
+//! inter-run prefetching keeps all `D` disks busy. A [`Timeline`] recorded
+//! with [`MergeSim::run_traced`](crate::MergeSim::run_traced) captures
+//! every disk-service interval and every CPU stall so that overlap can be
+//! inspected directly (see `pm_report::Gantt` and `examples/timeline.rs`).
+
+use pm_cache::RunId;
+use pm_disk::DiskId;
+use pm_sim::SimTime;
+
+/// One disk-service interval.
+///
+/// Input and output (write) disks have separate id spaces; an interval
+/// with `run == None` belongs to the *output* array's disk `disk`, all
+/// others to the input array's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceInterval {
+    /// The servicing disk (input array, or output array when
+    /// `run == None`).
+    pub disk: DiskId,
+    /// Run whose block was read (input disks) — `None` for output disks.
+    pub run: Option<RunId>,
+    /// Block index within the run.
+    pub block: u32,
+    /// Service start.
+    pub start: SimTime,
+    /// Service end.
+    pub end: SimTime,
+    /// Whether the block streamed sequentially (no seek/latency).
+    pub sequential: bool,
+}
+
+/// A window during which the merge was stalled waiting on its gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallInterval {
+    /// When the CPU became ready but had to wait.
+    pub start: SimTime,
+    /// When the gate opened.
+    pub end: SimTime,
+}
+
+/// The full recorded execution history of one simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Every serviced request, in completion order.
+    pub services: Vec<ServiceInterval>,
+    /// Every CPU stall, in order.
+    pub stalls: Vec<StallInterval>,
+    /// Cache free-frame count sampled at every demand operation
+    /// (time, free frames) — shows how close the cache runs to full,
+    /// i.e. why the success ratio saturates where it does.
+    pub cache_free: Vec<(SimTime, u32)>,
+}
+
+impl Timeline {
+    /// Total simulated span covered (end of the last service/stall).
+    #[must_use]
+    pub fn span_end(&self) -> SimTime {
+        let s = self.services.iter().map(|s| s.end).max();
+        let t = self.stalls.iter().map(|s| s.end).max();
+        s.into_iter().chain(t).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Service intervals of one *input* disk, in time order.
+    #[must_use]
+    pub fn disk_services(&self, disk: DiskId) -> Vec<ServiceInterval> {
+        let mut v: Vec<ServiceInterval> = self
+            .services
+            .iter()
+            .copied()
+            .filter(|s| s.disk == disk && s.run.is_some())
+            .collect();
+        v.sort_by_key(|s| s.start);
+        v
+    }
+
+    /// Service intervals of one *output* (write) disk, in time order.
+    #[must_use]
+    pub fn write_services(&self, disk: DiskId) -> Vec<ServiceInterval> {
+        let mut v: Vec<ServiceInterval> = self
+            .services
+            .iter()
+            .copied()
+            .filter(|s| s.disk == disk && s.run.is_none())
+            .collect();
+        v.sort_by_key(|s| s.start);
+        v
+    }
+
+    /// Busy time of one *input* disk within `[from, to)`, in nanoseconds.
+    #[must_use]
+    pub fn disk_busy_in(&self, disk: DiskId, from: SimTime, to: SimTime) -> u64 {
+        self.services
+            .iter()
+            .filter(|s| s.disk == disk && s.run.is_some())
+            .map(|s| {
+                let lo = s.start.max(from).as_nanos();
+                let hi = s.end.as_nanos().min(to.as_nanos());
+                hi.saturating_sub(lo)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn svc(disk: u16, start: u64, end: u64) -> ServiceInterval {
+        ServiceInterval {
+            disk: DiskId(disk),
+            run: Some(RunId(0)),
+            block: 0,
+            start: t(start),
+            end: t(end),
+            sequential: false,
+        }
+    }
+
+    #[test]
+    fn span_covers_services_and_stalls() {
+        let tl = Timeline {
+            services: vec![svc(0, 0, 10), svc(1, 5, 30)],
+            stalls: vec![StallInterval {
+                start: t(30),
+                end: t(40),
+            }],
+            cache_free: vec![(t(0), 5)],
+        };
+        assert_eq!(tl.span_end(), t(40));
+    }
+
+    #[test]
+    fn empty_timeline_spans_zero() {
+        assert_eq!(Timeline::default().span_end(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn disk_services_filters_and_sorts() {
+        let tl = Timeline {
+            services: vec![svc(1, 20, 30), svc(0, 0, 10), svc(1, 0, 15)],
+            stalls: vec![],
+            cache_free: Vec::new(),
+        };
+        let d1 = tl.disk_services(DiskId(1));
+        assert_eq!(d1.len(), 2);
+        assert!(d1[0].start <= d1[1].start);
+    }
+
+    #[test]
+    fn busy_in_window_clamps() {
+        let tl = Timeline {
+            services: vec![svc(0, 10, 30)],
+            stalls: vec![],
+            cache_free: Vec::new(),
+        };
+        assert_eq!(tl.disk_busy_in(DiskId(0), t(0), t(100)), 20);
+        assert_eq!(tl.disk_busy_in(DiskId(0), t(15), t(25)), 10);
+        assert_eq!(tl.disk_busy_in(DiskId(0), t(40), t(50)), 0);
+        assert_eq!(tl.disk_busy_in(DiskId(1), t(0), t(100)), 0);
+    }
+}

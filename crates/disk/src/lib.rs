@@ -1,0 +1,49 @@
+//! Parametric magnetic-disk model for `prefetchmerge`.
+//!
+//! Pai & Varman model each disk with three mechanical cost components —
+//! seek time (linear in cylinder distance, `S` per cylinder), rotational
+//! latency (uniform over one revolution, mean `R`), and a fixed per-block
+//! transfer time `T` — over a DEC RA8x-style geometry re-blocked to
+//! 4096-byte sectors (4 heads × 16 sectors/track ⇒ 64 blocks per cylinder).
+//! This crate implements exactly that abstraction:
+//!
+//! * [`DiskGeometry`] — block ↔ cylinder mapping.
+//! * [`DiskParams`] — the `(S, R, T)` timing constants, with
+//!   [`DiskParams::paper`] reproducing the paper's disk.
+//! * [`Disk`] — a single drive: head position, one request in service, a
+//!   queued backlog under a configurable [`QueueDiscipline`] (the paper
+//!   uses FIFO; SSTF/LOOK are provided for ablation), **sequential-stream
+//!   detection** (a request starting exactly where the previous service
+//!   ended pays neither seek nor rotational latency, which is what makes a
+//!   fetch of `N` contiguous blocks cost `seek + latency + N·T`), and full
+//!   per-request timing breakdowns.
+//! * [`DiskArray`] — a set of independent drives addressed by [`DiskId`].
+//!
+//! The model is *passive*: it computes completion times and hands them back;
+//! the caller (the merge simulator in `pm-core`) owns the event list and
+//! schedules the completion events. Each disk owns a private [`SimRng`]
+//! stream for its latency draws, so timing is reproducible regardless of
+//! how requests interleave across disks.
+//!
+//! [`SimRng`]: pm_sim::SimRng
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod discipline;
+mod disk;
+mod geometry;
+mod params;
+mod request;
+mod seekmodel;
+mod stats;
+
+pub use array::DiskArray;
+pub use discipline::{QueueDiscipline, SweepDirection};
+pub use disk::{CompletedRequest, Disk, StartedService};
+pub use geometry::{BlockAddr, Cylinder, DiskGeometry};
+pub use params::{DiskParams, DiskSpec};
+pub use request::{DiskId, DiskRequest, RequestId, ServiceBreakdown};
+pub use seekmodel::SeekModel;
+pub use stats::DiskStats;

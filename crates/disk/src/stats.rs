@@ -1,0 +1,200 @@
+//! Per-disk service statistics.
+
+use pm_sim::SimDuration;
+use pm_stats::{Histogram, OnlineStats};
+
+/// Accumulated statistics for one disk.
+///
+/// Everything the experiments report about a drive: how many requests it
+/// served, where the service time went (seek / rotational latency /
+/// transfer), how long requests waited in queue, total busy time, and the
+/// distribution of seek distances (compared against the Kwan–Baer
+/// closed form by the test suite).
+#[derive(Debug, Clone)]
+pub struct DiskStats {
+    requests: u64,
+    sequential_requests: u64,
+    blocks: u64,
+    seek_total: SimDuration,
+    latency_total: SimDuration,
+    transfer_total: SimDuration,
+    busy_total: SimDuration,
+    queue_wait: OnlineStats,
+    seek_distance: Histogram,
+}
+
+impl DiskStats {
+    /// Creates zeroed statistics; `max_cylinder` bounds the seek-distance
+    /// histogram.
+    #[must_use]
+    pub fn new(max_cylinder: u32) -> Self {
+        DiskStats {
+            requests: 0,
+            sequential_requests: 0,
+            blocks: 0,
+            seek_total: SimDuration::ZERO,
+            latency_total: SimDuration::ZERO,
+            transfer_total: SimDuration::ZERO,
+            busy_total: SimDuration::ZERO,
+            queue_wait: OnlineStats::new(),
+            seek_distance: Histogram::new(0.0, f64::from(max_cylinder.max(1)), 64),
+        }
+    }
+
+    pub(crate) fn record_service(
+        &mut self,
+        breakdown: crate::ServiceBreakdown,
+        blocks: u64,
+        seek_cylinders: u32,
+        queue_wait: SimDuration,
+        sequential: bool,
+    ) {
+        self.requests += 1;
+        if sequential {
+            self.sequential_requests += 1;
+        }
+        self.blocks += blocks;
+        self.seek_total += breakdown.seek;
+        self.latency_total += breakdown.latency;
+        self.transfer_total += breakdown.transfer;
+        self.busy_total += breakdown.total();
+        self.queue_wait.push(queue_wait.as_millis_f64());
+        if !sequential {
+            self.seek_distance.record(f64::from(seek_cylinders));
+        }
+    }
+
+    /// Requests served.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests that streamed sequentially (no seek, no latency).
+    #[must_use]
+    pub fn sequential_requests(&self) -> u64 {
+        self.sequential_requests
+    }
+
+    /// Blocks transferred.
+    #[must_use]
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Total seek time.
+    #[must_use]
+    pub fn seek_total(&self) -> SimDuration {
+        self.seek_total
+    }
+
+    /// Total rotational latency.
+    #[must_use]
+    pub fn latency_total(&self) -> SimDuration {
+        self.latency_total
+    }
+
+    /// Total transfer time.
+    #[must_use]
+    pub fn transfer_total(&self) -> SimDuration {
+        self.transfer_total
+    }
+
+    /// Total time the disk spent servicing requests.
+    #[must_use]
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Queue-wait statistics, in milliseconds.
+    #[must_use]
+    pub fn queue_wait_ms(&self) -> &OnlineStats {
+        &self.queue_wait
+    }
+
+    /// Seek-distance histogram (cylinders; non-sequential requests only).
+    #[must_use]
+    pub fn seek_distance(&self) -> &Histogram {
+        &self.seek_distance
+    }
+
+    /// Mean service time per request in milliseconds; `None` if idle.
+    #[must_use]
+    pub fn mean_service_ms(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some(self.busy_total.as_millis_f64() / self.requests as f64)
+        }
+    }
+
+    /// Merges another disk's statistics into this one (for array-level
+    /// aggregation).
+    pub fn merge(&mut self, other: &DiskStats) {
+        self.requests += other.requests;
+        self.sequential_requests += other.sequential_requests;
+        self.blocks += other.blocks;
+        self.seek_total += other.seek_total;
+        self.latency_total += other.latency_total;
+        self.transfer_total += other.transfer_total;
+        self.busy_total += other.busy_total;
+        self.queue_wait.merge(&other.queue_wait);
+        self.seek_distance.merge(&other.seek_distance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceBreakdown;
+
+    fn sample_breakdown() -> ServiceBreakdown {
+        ServiceBreakdown {
+            seek: SimDuration::from_millis(1),
+            latency: SimDuration::from_millis(8),
+            transfer: SimDuration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut s = DiskStats::new(840);
+        s.record_service(sample_breakdown(), 1, 33, SimDuration::from_millis(4), false);
+        s.record_service(
+            ServiceBreakdown {
+                transfer: SimDuration::from_millis(2),
+                ..Default::default()
+            },
+            1,
+            0,
+            SimDuration::ZERO,
+            true,
+        );
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.sequential_requests(), 1);
+        assert_eq!(s.blocks(), 2);
+        assert_eq!(s.seek_total(), SimDuration::from_millis(1));
+        assert_eq!(s.busy_total(), SimDuration::from_millis(13));
+        assert_eq!(s.mean_service_ms(), Some(6.5));
+        // Only the non-sequential request contributes a seek distance.
+        assert_eq!(s.seek_distance().count(), 1);
+    }
+
+    #[test]
+    fn idle_disk_has_no_mean() {
+        assert_eq!(DiskStats::new(10).mean_service_ms(), None);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = DiskStats::new(840);
+        let mut b = DiskStats::new(840);
+        a.record_service(sample_breakdown(), 1, 5, SimDuration::ZERO, false);
+        b.record_service(sample_breakdown(), 3, 7, SimDuration::from_millis(1), false);
+        a.merge(&b);
+        assert_eq!(a.requests(), 2);
+        assert_eq!(a.blocks(), 4);
+        assert_eq!(a.busy_total(), SimDuration::from_millis(22));
+        assert_eq!(a.queue_wait_ms().count(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Input-data generators.
+//!
+//! Deterministic (seeded) generators for the input distributions the
+//! example programs and the A3 experiment sort. Each returns records whose
+//! `rid` is the input position, so permutation checks are cheap.
+
+use pm_sim::SimRng;
+
+use crate::Record;
+
+/// Uniformly random 64-bit keys.
+#[must_use]
+pub fn uniform(n: usize, seed: u64) -> Vec<Record> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Record::new(rng.next_u64(), i as u64))
+        .collect()
+}
+
+/// Already-sorted keys with `swaps` random adjacent-ish perturbations —
+/// models inputs that are nearly in order (replacement selection produces
+/// very long runs on these).
+#[must_use]
+pub fn nearly_sorted(n: usize, swaps: usize, seed: u64) -> Vec<Record> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut keys: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+    for _ in 0..swaps {
+        if n < 2 {
+            break;
+        }
+        let i = rng.index(n - 1);
+        keys.swap(i, i + 1);
+    }
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, k)| Record::new(k, i as u64))
+        .collect()
+}
+
+/// Strictly decreasing keys — the worst case for replacement selection
+/// (every run collapses to one memory load).
+#[must_use]
+pub fn reverse_sorted(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new((n - i) as u64, i as u64))
+        .collect()
+}
+
+/// Keys drawn from a small alphabet of `distinct` values — exercises heavy
+/// duplication and stability.
+///
+/// # Panics
+///
+/// Panics if `distinct == 0`.
+#[must_use]
+pub fn few_distinct(n: usize, distinct: u64, seed: u64) -> Vec<Record> {
+    assert!(distinct > 0, "need at least one distinct key");
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Record::new(rng.range_u64(0, distinct), i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_tagged() {
+        let a = uniform(100, 1);
+        let b = uniform(100, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().enumerate().all(|(i, r)| r.rid == i as u64));
+        let c = uniform(100, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_ordered() {
+        let recs = nearly_sorted(1000, 10, 3);
+        let inversions = recs.windows(2).filter(|w| w[0].key > w[1].key).count();
+        assert!(inversions <= 10, "{inversions} inversions");
+        assert!(inversions > 0, "should not be perfectly sorted");
+    }
+
+    #[test]
+    fn reverse_sorted_is_strictly_decreasing() {
+        let recs = reverse_sorted(50);
+        assert!(recs.windows(2).all(|w| w[0].key > w[1].key));
+    }
+
+    #[test]
+    fn few_distinct_stays_in_alphabet() {
+        let recs = few_distinct(500, 3, 4);
+        assert!(recs.iter().all(|r| r.key < 3));
+        // All three values appear.
+        for k in 0..3 {
+            assert!(recs.iter().any(|r| r.key == k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one distinct")]
+    fn zero_alphabet_rejected() {
+        let _ = few_distinct(10, 0, 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Multi-pass merging.
+//!
+//! The paper's introduction notes that the sorted runs are "merged together
+//! in a small number of merge passes"; its evaluation then studies a single
+//! pass. This module supplies the missing layer: when the number of runs
+//! `k` exceeds the fan-in `F` a merge can sustain (bounded by the cache,
+//! since each input run needs buffers), the merge proceeds in passes, each
+//! combining up to `F` runs into one longer run.
+//!
+//! Two planners are provided:
+//!
+//! * [`plan_sequential`] — group runs in index order (what a simple
+//!   implementation does).
+//! * [`plan_huffman`] — `F`-ary Huffman grouping: always merge the `F`
+//!   shortest runs next, which minimizes total blocks read when run
+//!   lengths are unequal (Knuth vol. 3 §5.4.9). For equal-length runs both
+//!   planners do the same work.
+//!
+//! [`simulate_plan`] replays a whole plan through the merge-phase
+//! simulator, pass by pass, giving the classic fan-in trade-off: larger
+//! `F` means fewer passes but a smaller per-run prefetch depth out of the
+//! same cache (more seeks); the `ext_multipass` experiment sweeps it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pm_core::{
+    MergeConfig, MergeSim, PrefetchStrategy, SimDuration, SyncMode, UniformDepletion,
+};
+
+/// One pass: the groups of run lengths (in blocks) it merges. Each group
+/// produces one output run whose length is the group's sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassPlan {
+    /// Input-run lengths per merge group.
+    pub groups: Vec<Vec<u32>>,
+}
+
+impl PassPlan {
+    /// Output-run lengths this pass produces.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<u32> {
+        self.groups.iter().map(|g| g.iter().sum()).collect()
+    }
+
+    /// Blocks read (= written) by this pass.
+    #[must_use]
+    pub fn blocks(&self) -> u64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|&b| u64::from(b))
+            .sum()
+    }
+}
+
+/// A complete multi-pass merge plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergePlan {
+    /// Maximum merge order per group.
+    pub fan_in: u32,
+    /// The passes, in execution order.
+    pub passes: Vec<PassPlan>,
+}
+
+impl MergePlan {
+    /// Number of passes.
+    #[must_use]
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Total blocks read across all passes (the I/O volume a cost model
+    /// would charge).
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        self.passes.iter().map(PassPlan::blocks).sum()
+    }
+}
+
+/// Plans passes that merge runs in index order, `fan_in` at a time.
+///
+/// # Panics
+///
+/// Panics if `run_blocks` is empty, any run is empty, or `fan_in < 2`.
+#[must_use]
+pub fn plan_sequential(run_blocks: &[u32], fan_in: u32) -> MergePlan {
+    validate_inputs(run_blocks, fan_in);
+    let mut current: Vec<u32> = run_blocks.to_vec();
+    let mut passes = Vec::new();
+    while current.len() > 1 {
+        let groups: Vec<Vec<u32>> = current
+            .chunks(fan_in as usize)
+            .map(<[u32]>::to_vec)
+            .collect();
+        let pass = PassPlan { groups };
+        current = pass.outputs();
+        passes.push(pass);
+    }
+    MergePlan { fan_in, passes }
+}
+
+/// Plans passes that always merge the `fan_in` *shortest* runs next
+/// (`F`-ary Huffman), minimizing total blocks read for unequal runs.
+///
+/// To keep every internal merge at full fan-in, the first group may be
+/// smaller (the standard dummy-run adjustment): its size is chosen so the
+/// remaining merges all take exactly `fan_in` inputs.
+///
+/// # Panics
+///
+/// Panics if `run_blocks` is empty, any run is empty, or `fan_in < 2`.
+#[must_use]
+pub fn plan_huffman(run_blocks: &[u32], fan_in: u32) -> MergePlan {
+    validate_inputs(run_blocks, fan_in);
+    let f = fan_in as usize;
+    if run_blocks.len() == 1 {
+        return MergePlan {
+            fan_in,
+            passes: Vec::new(),
+        };
+    }
+    // Dummy-run adjustment: with n leaves, full f-ary merging needs
+    // (n - 1) ≡ 0 (mod f - 1). When the remainder r is non-zero the first
+    // merge takes only r + 1 inputs; otherwise every merge takes f.
+    let n = run_blocks.len();
+    let r = (n - 1) % (f - 1);
+    let first_group = if r == 0 { f } else { r + 1 };
+    // Heap items carry (length, depth-tag); the tag groups merges into
+    // passes: an output of depth t can only be merged in a pass after t.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = run_blocks
+        .iter()
+        .map(|&b| Reverse((u64::from(b), 0)))
+        .collect();
+
+    // Huffman merge order; passes are reconstructed by scheduling each
+    // merge in the earliest pass after all of its inputs are available.
+    let mut merges: Vec<(Vec<u64>, u64, usize)> = Vec::new(); // (inputs, output, pass)
+    let mut take = first_group;
+    while heap.len() > 1 {
+        let group_size = take.min(heap.len());
+        take = f;
+        let mut inputs = Vec::with_capacity(group_size);
+        let mut pass = 0usize;
+        let mut total = 0u64;
+        for _ in 0..group_size {
+            let Reverse((len, depth)) = heap.pop().expect("heap non-empty");
+            total += len;
+            pass = pass.max(depth);
+            inputs.push(len);
+        }
+        merges.push((inputs, total, pass));
+        heap.push(Reverse((total, pass + 1)));
+    }
+
+    let num_passes = merges.iter().map(|&(_, _, p)| p).max().map_or(0, |p| p + 1);
+    let mut passes = vec![PassPlan { groups: Vec::new() }; num_passes];
+    for (inputs, _, pass) in merges {
+        passes[pass].groups.push(
+            inputs
+                .into_iter()
+                .map(|l| u32::try_from(l).expect("run length fits u32"))
+                .collect(),
+        );
+    }
+    MergePlan { fan_in, passes }
+}
+
+fn validate_inputs(run_blocks: &[u32], fan_in: u32) {
+    assert!(!run_blocks.is_empty(), "need at least one run");
+    assert!(!run_blocks.contains(&0), "runs must be non-empty");
+    assert!(fan_in >= 2, "fan-in must be at least 2");
+}
+
+/// Per-pass result of [`simulate_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassReport {
+    /// Time for the pass (its merge groups run one after another on the
+    /// single merge CPU).
+    pub duration: SimDuration,
+    /// Blocks read during the pass.
+    pub blocks: u64,
+    /// Number of merge groups.
+    pub groups: usize,
+}
+
+/// Result of simulating a whole multi-pass merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPassReport {
+    /// Per-pass breakdown.
+    pub passes: Vec<PassReport>,
+}
+
+impl MultiPassReport {
+    /// End-to-end merge time.
+    #[must_use]
+    pub fn total(&self) -> SimDuration {
+        self.passes.iter().map(|p| p.duration).sum()
+    }
+
+    /// Total blocks read.
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        self.passes.iter().map(|p| p.blocks).sum()
+    }
+}
+
+/// Simulates a merge plan through [`MergeSim`]: each group is one
+/// merge-phase simulation (its input runs striped over `disks`), groups
+/// and passes execute serially on the one merge CPU.
+///
+/// `cache_blocks` is the total cache; the per-group prefetch depth is
+/// `max(1, cache / (4 · group size))` for inter-run prefetching (leaving
+/// admission headroom), so a larger fan-in forces shallower prefetching —
+/// the trade-off this module exists to expose.
+///
+/// # Panics
+///
+/// Panics if any group's configuration is invalid (e.g. the cache cannot
+/// hold one block per run of the group).
+#[must_use]
+pub fn simulate_plan(
+    plan: &MergePlan,
+    disks: u32,
+    cache_blocks: u32,
+    inter_run: bool,
+    seed: u64,
+) -> MultiPassReport {
+    let mut passes = Vec::with_capacity(plan.passes.len());
+    let mut op_seed = seed;
+    for pass in &plan.passes {
+        let mut duration = SimDuration::ZERO;
+        for group in &pass.groups {
+            if group.len() == 1 {
+                // A singleton group is a no-op (no merge, no copy).
+                continue;
+            }
+            let k = group.len() as u32;
+            let n = (cache_blocks / (4 * k)).max(1);
+            let mut cfg = MergeConfig::paper_no_prefetch(k, disks.min(k));
+            cfg.strategy = if inter_run {
+                PrefetchStrategy::InterRun { n }
+            } else {
+                PrefetchStrategy::IntraRun { n }
+            };
+            cfg.sync = SyncMode::Unsynchronized;
+            cfg.cache_blocks = cache_blocks;
+            // Small merge orders put one run on some disks; cap per-run
+            // occupancy so inter-run prefetching cannot clog the cache
+            // (see MergeConfig::per_run_cap).
+            cfg.per_run_cap = Some((cache_blocks / k).max(2 * n));
+            op_seed = op_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            cfg.seed = op_seed;
+            let report = MergeSim::with_run_lengths(cfg, group)
+                .expect("valid group configuration")
+                .run(&mut UniformDepletion);
+            duration += report.total;
+        }
+        passes.push(PassReport {
+            duration,
+            blocks: pass.blocks(),
+            groups: pass.groups.len(),
+        });
+    }
+    MultiPassReport { passes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_plan_shape() {
+        let plan = plan_sequential(&[10; 9], 3);
+        assert_eq!(plan.num_passes(), 2);
+        assert_eq!(plan.passes[0].groups.len(), 3);
+        assert_eq!(plan.passes[0].outputs(), vec![30, 30, 30]);
+        assert_eq!(plan.passes[1].groups, vec![vec![30, 30, 30]]);
+        // Every block is read once per pass: 90 + 90.
+        assert_eq!(plan.total_blocks(), 180);
+    }
+
+    #[test]
+    fn single_pass_when_fan_in_covers_all() {
+        let plan = plan_sequential(&[5, 6, 7], 8);
+        assert_eq!(plan.num_passes(), 1);
+        assert_eq!(plan.total_blocks(), 18);
+    }
+
+    #[test]
+    fn single_run_needs_no_passes() {
+        assert_eq!(plan_sequential(&[42], 4).num_passes(), 0);
+        assert_eq!(plan_huffman(&[42], 4).num_passes(), 0);
+    }
+
+    #[test]
+    fn huffman_merges_everything_exactly_once_per_level() {
+        let runs = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let plan = plan_huffman(&runs, 3);
+        // The final pass must output the full total.
+        let last = plan.passes.last().unwrap();
+        let total: u32 = runs.iter().sum();
+        assert_eq!(last.outputs().iter().sum::<u32>(), total);
+        // Conservation within passes: pass p's inputs are original runs
+        // plus earlier outputs, never more.
+        let mut available: Vec<u32> = runs.to_vec();
+        for pass in &plan.passes {
+            for group in &pass.groups {
+                for &len in group {
+                    let pos = available
+                        .iter()
+                        .position(|&a| a == len)
+                        .unwrap_or_else(|| panic!("input {len} not available"));
+                    available.swap_remove(pos);
+                }
+            }
+            available.extend(pass.outputs());
+        }
+        assert_eq!(available, vec![total]);
+    }
+
+    #[test]
+    fn huffman_never_reads_more_than_sequential() {
+        let cases: [&[u32]; 4] = [
+            &[10; 16],
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            &[100, 1, 1, 1, 1, 1, 1, 1],
+            &[7, 3, 9, 2, 8, 5, 4, 6, 1, 10, 12, 11],
+        ];
+        for runs in cases {
+            for f in [2u32, 3, 4] {
+                let seq = plan_sequential(runs, f).total_blocks();
+                let huf = plan_huffman(runs, f).total_blocks();
+                assert!(huf <= seq, "runs={runs:?} f={f}: huffman {huf} > sequential {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn huffman_prefers_short_runs_first() {
+        // One huge run and many tiny ones: the huge run must be merged
+        // exactly once (in the final group), not copied through passes.
+        let runs = [1000u32, 1, 1, 1, 1];
+        let plan = plan_huffman(&runs, 2);
+        let big_reads = plan
+            .passes
+            .iter()
+            .flat_map(|p| p.groups.iter())
+            .flat_map(|g| g.iter())
+            .filter(|&&l| l >= 1000)
+            .count();
+        assert_eq!(big_reads, 1, "{plan:?}");
+    }
+
+    #[test]
+    fn simulate_plan_runs_all_passes() {
+        let plan = plan_sequential(&[50; 8], 4);
+        let report = simulate_plan(&plan, 4, 64, true, 11);
+        assert_eq!(report.passes.len(), 2);
+        assert_eq!(report.total_blocks(), 800);
+        assert!(report.total() > SimDuration::ZERO);
+        // Second pass merges 2 runs of 200 blocks: still 400 blocks.
+        assert_eq!(report.passes[1].blocks, 400);
+    }
+
+    #[test]
+    fn fewer_passes_less_io() {
+        let runs = [25u32; 16];
+        let two_pass = plan_sequential(&runs, 4);
+        let one_pass = plan_sequential(&runs, 16);
+        assert_eq!(two_pass.num_passes(), 2);
+        assert_eq!(one_pass.num_passes(), 1);
+        assert!(one_pass.total_blocks() < two_pass.total_blocks());
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in must be at least 2")]
+    fn tiny_fan_in_rejected() {
+        let _ = plan_sequential(&[1, 2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs must be non-empty")]
+    fn empty_run_rejected() {
+        let _ = plan_huffman(&[1, 0], 2);
+    }
+}

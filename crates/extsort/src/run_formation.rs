@@ -1,0 +1,179 @@
+//! Sorted-run creation.
+//!
+//! Two classic policies:
+//!
+//! * [`load_sort`] — fill memory, sort, emit: every run is exactly one
+//!   memory load (the paper's equal-length-runs setup).
+//! * [`replacement_selection`] — heap-based run formation: records that
+//!   can still extend the current run go into the active heap, others are
+//!   deferred to the next run. On random input the average run is about
+//!   twice the memory size (Knuth's snowplow argument); on sorted input a
+//!   single run emerges; on reverse-sorted input runs collapse to one
+//!   memory load.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Record;
+
+/// Splits `input` into consecutive memory loads of `memory` records and
+/// sorts each. All runs except possibly the last have exactly `memory`
+/// records.
+///
+/// # Panics
+///
+/// Panics if `memory == 0`.
+#[must_use]
+pub fn load_sort(input: &[Record], memory: usize) -> Vec<Vec<Record>> {
+    assert!(memory > 0, "memory must hold at least one record");
+    input
+        .chunks(memory)
+        .map(|chunk| {
+            let mut run = chunk.to_vec();
+            run.sort_unstable();
+            run
+        })
+        .collect()
+}
+
+/// Replacement selection with a working set of `memory` records.
+///
+/// # Panics
+///
+/// Panics if `memory == 0`.
+#[must_use]
+pub fn replacement_selection(input: &[Record], memory: usize) -> Vec<Vec<Record>> {
+    assert!(memory > 0, "memory must hold at least one record");
+    let mut runs: Vec<Vec<Record>> = Vec::new();
+    if input.is_empty() {
+        return runs;
+    }
+    let mut source = input.iter().copied();
+    // Active heap: candidates for the current run. Deferred heap: records
+    // smaller than the last emitted key, which must wait for the next run.
+    let mut active: BinaryHeap<Reverse<Record>> = BinaryHeap::new();
+    let mut deferred: BinaryHeap<Reverse<Record>> = BinaryHeap::new();
+    for _ in 0..memory {
+        match source.next() {
+            Some(r) => active.push(Reverse(r)),
+            None => break,
+        }
+    }
+    let mut current: Vec<Record> = Vec::new();
+    while let Some(Reverse(r)) = active.pop() {
+        current.push(r);
+        // Refill the working set from the input.
+        if let Some(next) = source.next() {
+            if next >= r {
+                active.push(Reverse(next));
+            } else {
+                deferred.push(Reverse(next));
+            }
+        }
+        if active.is_empty() {
+            // Current run ends; the deferred records seed the next one.
+            runs.push(std::mem::take(&mut current));
+            std::mem::swap(&mut active, &mut deferred);
+        }
+    }
+    if !current.is_empty() {
+        runs.push(current);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn is_sorted(run: &[Record]) -> bool {
+        run.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    fn flatten_count(runs: &[Vec<Record>]) -> usize {
+        runs.iter().map(Vec::len).sum()
+    }
+
+    #[test]
+    fn load_sort_produces_equal_sorted_runs() {
+        let input = generate::uniform(1000, 1);
+        let runs = load_sort(&input, 100);
+        assert_eq!(runs.len(), 10);
+        assert!(runs.iter().all(|r| r.len() == 100));
+        assert!(runs.iter().all(|r| is_sorted(r)));
+        assert_eq!(flatten_count(&runs), 1000);
+    }
+
+    #[test]
+    fn load_sort_last_run_may_be_short() {
+        let input = generate::uniform(250, 2);
+        let runs = load_sort(&input, 100);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[2].len(), 50);
+    }
+
+    #[test]
+    fn replacement_selection_runs_are_sorted_and_complete() {
+        let input = generate::uniform(5000, 3);
+        let runs = replacement_selection(&input, 100);
+        assert!(runs.iter().all(|r| is_sorted(r)));
+        assert_eq!(flatten_count(&runs), 5000);
+        // Every record survives (it is a permutation).
+        let mut rids: Vec<u64> = runs.iter().flatten().map(|r| r.rid).collect();
+        rids.sort_unstable();
+        assert_eq!(rids, (0..5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn replacement_selection_doubles_run_length_on_random_input() {
+        let memory = 200;
+        let input = generate::uniform(40_000, 4);
+        let runs = replacement_selection(&input, memory);
+        let avg = 40_000.0 / runs.len() as f64;
+        // Knuth's snowplow: expected run length ≈ 2M. Allow 1.7–2.3 M.
+        assert!(
+            avg > 1.7 * memory as f64 && avg < 2.3 * memory as f64,
+            "avg run length {avg}"
+        );
+    }
+
+    #[test]
+    fn replacement_selection_sorted_input_single_run() {
+        let input = generate::nearly_sorted(2000, 0, 5);
+        let runs = replacement_selection(&input, 50);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 2000);
+    }
+
+    #[test]
+    fn replacement_selection_reverse_input_collapses_to_memory_loads() {
+        let input = generate::reverse_sorted(1000);
+        let runs = replacement_selection(&input, 100);
+        assert_eq!(runs.len(), 10);
+        assert!(runs.iter().all(|r| r.len() == 100));
+    }
+
+    #[test]
+    fn replacement_selection_handles_tiny_inputs() {
+        assert!(replacement_selection(&[], 10).is_empty());
+        let one = replacement_selection(&[Record::new(5, 0)], 10);
+        assert_eq!(one, vec![vec![Record::new(5, 0)]]);
+    }
+
+    #[test]
+    fn memory_larger_than_input_gives_one_run() {
+        let input = generate::uniform(50, 6);
+        for runs in [load_sort(&input, 1000), replacement_selection(&input, 1000)] {
+            assert_eq!(runs.len(), 1);
+            assert!(is_sorted(&runs[0]));
+            assert_eq!(runs[0].len(), 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_memory_rejected() {
+        let _ = load_sort(&[], 0);
+    }
+}

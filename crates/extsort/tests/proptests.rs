@@ -1,0 +1,165 @@
+//! Property-based tests of the external mergesort.
+
+use proptest::prelude::*;
+
+use pm_extsort::multipass::{plan_huffman, plan_sequential};
+use pm_extsort::{external_sort, run_formation, ExtSortConfig, LoserTree, Record, RunFormation};
+
+fn records(max_len: usize) -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(any::<u64>(), 0..max_len).prop_map(|keys| {
+        keys.into_iter()
+            .enumerate()
+            .map(|(i, k)| Record::new(k, i as u64))
+            .collect()
+    })
+}
+
+fn check_sorted_permutation(input: &[Record], output: &[Record]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(input.len(), output.len());
+    prop_assert!(output.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+    let mut rids: Vec<u64> = output.iter().map(|r| r.rid).collect();
+    rids.sort_unstable();
+    prop_assert_eq!(rids, (0..input.len() as u64).collect::<Vec<_>>());
+    Ok(())
+}
+
+proptest! {
+    /// The full pipeline sorts any input, for both run-formation policies
+    /// and arbitrary memory/block sizes.
+    #[test]
+    fn external_sort_sorts_everything(
+        input in records(600),
+        memory in 1usize..100,
+        rpb in 1usize..20,
+        replacement in any::<bool>(),
+    ) {
+        let cfg = ExtSortConfig {
+            memory_records: memory,
+            records_per_block: rpb,
+            run_formation: if replacement {
+                RunFormation::ReplacementSelection
+            } else {
+                RunFormation::LoadSort
+            },
+        };
+        let out = external_sort(&input, &cfg);
+        check_sorted_permutation(&input, &out.output)?;
+        // Trace length equals total block count.
+        let total_blocks: u32 = out.run_blocks.iter().sum();
+        prop_assert_eq!(out.trace.len(), total_blocks as usize);
+        // Every run's block count matches its length.
+        for (len, blocks) in out.run_lengths.iter().zip(&out.run_blocks) {
+            prop_assert_eq!(*blocks, len.div_ceil(rpb) as u32);
+        }
+        // The trace depletes each run exactly run_blocks times.
+        for (i, &blocks) in out.run_blocks.iter().enumerate() {
+            let count = out.trace.iter().filter(|r| r.0 as usize == i).count();
+            prop_assert_eq!(count, blocks as usize);
+        }
+    }
+
+    /// Replacement selection emits sorted runs that partition the input.
+    #[test]
+    fn replacement_selection_partitions(input in records(500), memory in 1usize..60) {
+        let runs = run_formation::replacement_selection(&input, memory);
+        let total: usize = runs.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, input.len());
+        for run in &runs {
+            prop_assert!(run.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
+        }
+    }
+
+    /// Replacement selection never produces more runs than load-sort does
+    /// (it is at least as good, run-count-wise).
+    #[test]
+    fn replacement_selection_is_never_worse(input in records(400), memory in 1usize..50) {
+        let rs = run_formation::replacement_selection(&input, memory).len();
+        let ls = run_formation::load_sort(&input, memory).len();
+        prop_assert!(rs <= ls, "replacement selection made {rs} runs vs load-sort {ls}");
+    }
+
+    /// The loser tree merges arbitrary sorted sources exactly like a
+    /// global sort, stably by source index on ties.
+    #[test]
+    fn loser_tree_equals_global_sort(
+        sources in prop::collection::vec(prop::collection::vec(0u32..50, 0..40), 1..12),
+    ) {
+        let mut sorted_sources: Vec<Vec<u32>> = sources;
+        for s in &mut sorted_sources {
+            s.sort_unstable();
+        }
+        let mut expected: Vec<u32> = sorted_sources.iter().flatten().copied().collect();
+        expected.sort_unstable();
+
+        let mut iters: Vec<_> = sorted_sources.into_iter().map(Vec::into_iter).collect();
+        let heads: Vec<Option<u32>> = iters.iter_mut().map(Iterator::next).collect();
+        let mut tree = LoserTree::new(heads);
+        let mut merged = Vec::new();
+        let mut last: Option<(u32, usize)> = None;
+        while let Some((src_peek, _)) = tree.winner().map(|(s, _)| (s, ())) {
+            let next = iters[src_peek].next();
+            let (src, v) = tree.pop_and_replace(next).unwrap();
+            // Stability: equal values must come out in source order.
+            if let Some((lv, ls)) = last {
+                prop_assert!(lv < v || (lv == v && ls <= src), "stability violated");
+            }
+            last = Some((v, src));
+            merged.push(v);
+        }
+        prop_assert_eq!(merged, expected);
+    }
+}
+
+fn run_lengths() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(1u32..500, 1..40)
+}
+
+proptest! {
+    /// Both planners conserve data: every pass's outputs feed the next,
+    /// and the final output length is the total input length.
+    #[test]
+    fn merge_plans_conserve_data(lengths in run_lengths(), fan_in in 2u32..8) {
+        for plan in [plan_sequential(&lengths, fan_in), plan_huffman(&lengths, fan_in)] {
+            let total: u64 = lengths.iter().map(|&l| u64::from(l)).sum();
+            let mut available: Vec<u64> = lengths.iter().map(|&l| u64::from(l)).collect();
+            for pass in &plan.passes {
+                for group in &pass.groups {
+                    prop_assert!(group.len() <= fan_in as usize, "group too wide");
+                    for &len in group {
+                        let pos = available.iter().position(|&a| a == u64::from(len));
+                        prop_assert!(pos.is_some(), "phantom input {len}");
+                        available.swap_remove(pos.unwrap());
+                    }
+                }
+                available.extend(pass.outputs().iter().map(|&o| u64::from(o)));
+            }
+            prop_assert_eq!(available, vec![total]);
+        }
+    }
+
+    /// Huffman never reads more data than sequential grouping, and both
+    /// read at least (passes × total) is false for huffman — but each
+    /// plan's volume is bounded by passes × total input.
+    #[test]
+    fn huffman_dominates_sequential(lengths in run_lengths(), fan_in in 2u32..8) {
+        let seq = plan_sequential(&lengths, fan_in);
+        let huf = plan_huffman(&lengths, fan_in);
+        prop_assert!(huf.total_blocks() <= seq.total_blocks());
+        let total: u64 = lengths.iter().map(|&l| u64::from(l)).sum();
+        prop_assert!(seq.total_blocks() <= seq.num_passes() as u64 * total);
+    }
+
+    /// Sequential pass count matches the logarithmic formula.
+    #[test]
+    fn sequential_pass_count(k in 1usize..200, fan_in in 2u32..8) {
+        let lengths = vec![10u32; k];
+        let plan = plan_sequential(&lengths, fan_in);
+        let mut expected = 0usize;
+        let mut n = k;
+        while n > 1 {
+            n = n.div_ceil(fan_in as usize);
+            expected += 1;
+        }
+        prop_assert_eq!(plan.num_passes(), expected);
+    }
+}

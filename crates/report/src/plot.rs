@@ -1,0 +1,174 @@
+//! Terminal line plots.
+
+/// A multi-series ASCII scatter plot.
+///
+/// Each series gets a marker character; points are mapped onto a
+/// `width × height` character grid with linear axes. Good enough to verify
+/// that a reproduced figure has the paper's shape directly in the
+/// terminal.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+/// One named curve: label, marker, points.
+type Series = (String, char, Vec<(f64, f64)>);
+
+const MARKERS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl AsciiPlot {
+    /// Creates an empty plot of the given grid size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 16×4.
+    #[must_use]
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 16 && height >= 4, "plot grid too small");
+        AsciiPlot {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series; markers are assigned in insertion order.
+    pub fn add_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        let marker = MARKERS[self.series.len() % MARKERS.len()];
+        self.series.push((name.into(), marker, points));
+    }
+
+    /// Renders the plot, legend included. Returns a note instead if no
+    /// finite points exist.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, p)| p.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x0 == x1 {
+            x1 = x0 + 1.0;
+        }
+        if y0 == y1 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (_, marker, points) in &self.series {
+            for &(x, y) in points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx] = *marker;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y1:>10.2}")
+            } else if i == self.height - 1 {
+                format!("{y0:>10.2}")
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&label);
+            out.push_str(" |");
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(11));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}{:<.2}{}{:>.2}\n",
+            " ".repeat(12),
+            x0,
+            " ".repeat(self.width.saturating_sub(12)),
+            x1
+        ));
+        for (name, marker, _) in &self.series {
+            out.push_str(&format!("  {marker} {name}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let mut p = AsciiPlot::new("demo", 40, 10);
+        p.add_series("up", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        p.add_series("down", vec![(0.0, 2.0), (2.0, 0.0)]);
+        let out = p.render();
+        assert!(out.contains("demo"));
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("  * up"));
+        assert!(out.contains("  o down"));
+    }
+
+    #[test]
+    fn empty_plot_notes_no_data() {
+        let p = AsciiPlot::new("empty", 40, 10);
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn corners_map_to_extremes() {
+        let mut p = AsciiPlot::new("c", 20, 5);
+        p.add_series("s", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let out = p.render();
+        let lines: Vec<&str> = out.lines().collect();
+        // Max y on the first grid row (right end), min y on the last.
+        assert!(lines[1].ends_with('*'));
+        let last_grid = lines[5];
+        assert!(last_grid.contains('*'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut p = AsciiPlot::new("flat", 20, 5);
+        p.add_series("s", vec![(1.0, 5.0), (2.0, 5.0)]);
+        let out = p.render();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn nonfinite_points_are_skipped() {
+        let mut p = AsciiPlot::new("nan", 20, 5);
+        p.add_series("s", vec![(f64::NAN, 1.0), (1.0, 1.0)]);
+        let out = p.render();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_grid_rejected() {
+        let _ = AsciiPlot::new("t", 4, 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation kernel for `prefetchmerge`.
+//!
+//! Pai & Varman's original study was built on the Rice C Simulation Package
+//! (CSIM), a process-oriented discrete-event simulator. This crate is the
+//! equivalent substrate, rebuilt from scratch as an event-calendar kernel:
+//!
+//! * [`SimTime`] / [`SimDuration`] — simulated time as **integer
+//!   nanoseconds**, so the paper's disk constants (2.16 ms transfer,
+//!   8.33 ms average latency, 0.03 ms/cylinder seek) are exact and the
+//!   event heap never depends on floating-point comparisons.
+//! * [`EventQueue`] — the future-event list: a binary heap with a stable
+//!   FIFO tie-break, so simultaneous events fire in scheduling order and
+//!   every run is exactly reproducible.
+//! * [`Executive`] — clock + event list + dispatch loop.
+//! * [`SimRng`] — a self-contained xoshiro256\*\* generator (seeded through
+//!   splitmix64) with the variate helpers the disk model needs. Keeping the
+//!   generator in-tree pins the exact random stream independent of external
+//!   crate versions; an adapter to `rand_core` is provided for interop.
+//!
+//! The process-oriented constructs of CSIM (per-request processes that
+//! suspend in disk queues, and a "wait on prefetch" facility) map onto this
+//! kernel as explicit request state machines in `pm-disk` and `pm-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod executive;
+mod rng;
+mod time;
+
+pub use events::EventQueue;
+pub use executive::Executive;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,238 @@
+//! Student-t confidence intervals for small numbers of trials.
+
+use crate::OnlineStats;
+
+/// A two-sided confidence interval around a sample mean.
+///
+/// The experiment harness runs a small number of independent simulation
+/// trials per data point (the paper averages a handful of trials), so the
+/// interval uses Student's t distribution rather than the normal
+/// approximation. Critical values are tabulated for 90/95/99% confidence and
+/// interpolated in between; for more than 30 degrees of freedom the normal
+/// quantile is used.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval (`mean ± half_width`).
+    pub half_width: f64,
+    /// Confidence level used, e.g. `0.95`.
+    pub confidence: f64,
+    /// Number of samples the interval is based on.
+    pub n: u64,
+}
+
+/// Two-sided t critical values, rows indexed by degrees of freedom 1..=30.
+/// Columns: 90%, 95%, 99%.
+const T_TABLE: [[f64; 3]; 30] = [
+    [6.314, 12.706, 63.657],
+    [2.920, 4.303, 9.925],
+    [2.353, 3.182, 5.841],
+    [2.132, 2.776, 4.604],
+    [2.015, 2.571, 4.032],
+    [1.943, 2.447, 3.707],
+    [1.895, 2.365, 3.499],
+    [1.860, 2.306, 3.355],
+    [1.833, 2.262, 3.250],
+    [1.812, 2.228, 3.169],
+    [1.796, 2.201, 3.106],
+    [1.782, 2.179, 3.055],
+    [1.771, 2.160, 3.012],
+    [1.761, 2.145, 2.977],
+    [1.753, 2.131, 2.947],
+    [1.746, 2.120, 2.921],
+    [1.740, 2.110, 2.898],
+    [1.734, 2.101, 2.878],
+    [1.729, 2.093, 2.861],
+    [1.725, 2.086, 2.845],
+    [1.721, 2.080, 2.831],
+    [1.717, 2.074, 2.819],
+    [1.714, 2.069, 2.807],
+    [1.711, 2.064, 2.797],
+    [1.708, 2.060, 2.787],
+    [1.706, 2.056, 2.779],
+    [1.703, 2.052, 2.771],
+    [1.701, 2.048, 2.763],
+    [1.699, 2.045, 2.756],
+    [1.697, 2.042, 2.750],
+];
+
+/// Large-sample (normal) critical values for 90/95/99%.
+const Z_VALUES: [f64; 3] = [1.645, 1.960, 2.576];
+
+/// Returns the two-sided critical value `t*` for the given degrees of
+/// freedom and confidence level.
+///
+/// Confidence levels between the tabulated 0.90/0.95/0.99 are linearly
+/// interpolated; levels outside that range are clamped to the nearest
+/// tabulated column.
+#[must_use]
+pub(crate) fn t_critical(dof: u64, confidence: f64) -> f64 {
+    let row: &[f64; 3] = if dof == 0 {
+        // Degenerate: with one sample there is no spread estimate; the
+        // interval half-width will be 0 anyway, so any finite value works.
+        &T_TABLE[0]
+    } else if dof <= 30 {
+        &T_TABLE[(dof - 1) as usize]
+    } else {
+        &Z_VALUES
+    };
+    if confidence <= 0.90 {
+        row[0]
+    } else if confidence >= 0.99 {
+        row[2]
+    } else if confidence <= 0.95 {
+        let f = (confidence - 0.90) / 0.05;
+        row[0] + f * (row[1] - row[0])
+    } else {
+        let f = (confidence - 0.95) / 0.04;
+        row[1] + f * (row[2] - row[1])
+    }
+}
+
+impl ConfidenceInterval {
+    /// Computes the interval from an [`OnlineStats`] accumulator.
+    ///
+    /// With fewer than two samples the half-width is zero.
+    #[must_use]
+    pub fn from_stats(stats: &OnlineStats, confidence: f64) -> Self {
+        let n = stats.count();
+        let half_width = if n < 2 {
+            0.0
+        } else {
+            t_critical(n - 1, confidence) * stats.standard_error()
+        };
+        Self {
+            mean: stats.mean(),
+            half_width,
+            confidence,
+            n,
+        }
+    }
+
+    /// Computes the interval directly from samples.
+    #[must_use]
+    pub fn from_samples(samples: &[f64], confidence: f64) -> Self {
+        Self::from_stats(&OnlineStats::from_slice(samples), confidence)
+    }
+
+    /// Lower bound of the interval.
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `value` falls inside the interval (inclusive).
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.low() && value <= self.high()
+    }
+
+    /// Relative half-width (`half_width / |mean|`); `inf` if the mean is 0
+    /// but the half-width is not.
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.half_width == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} ({}% CI, n={})",
+            self.mean,
+            self.half_width,
+            (self.confidence * 100.0).round(),
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_critical_tabulated_values() {
+        assert!((t_critical(4, 0.95) - 2.776).abs() < 1e-9);
+        assert!((t_critical(9, 0.90) - 1.833).abs() < 1e-9);
+        assert!((t_critical(1, 0.99) - 63.657).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_critical_large_dof_uses_normal() {
+        assert!((t_critical(1000, 0.95) - 1.960).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_critical_interpolates() {
+        let t = t_critical(4, 0.925);
+        assert!(t > 2.132 && t < 2.776);
+    }
+
+    #[test]
+    fn t_critical_clamps_extremes() {
+        assert_eq!(t_critical(5, 0.5), t_critical(5, 0.90));
+        assert_eq!(t_critical(5, 0.999), t_critical(5, 0.99));
+    }
+
+    #[test]
+    fn interval_known_case() {
+        // Samples 1..=5: mean 3, sample stddev sqrt(2.5), sem sqrt(0.5).
+        let ci = ConfidenceInterval::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.95);
+        assert_eq!(ci.n, 5);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        let expected = 2.776 * (0.5f64).sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-9);
+        assert!(ci.contains(3.0));
+        assert!(!ci.contains(100.0));
+    }
+
+    #[test]
+    fn single_sample_has_zero_width() {
+        let ci = ConfidenceInterval::from_samples(&[7.0], 0.95);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.low(), 7.0);
+        assert_eq!(ci.high(), 7.0);
+    }
+
+    #[test]
+    fn relative_half_width_edge_cases() {
+        let ci = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 0.0,
+            confidence: 0.95,
+            n: 3,
+        };
+        assert_eq!(ci.relative_half_width(), 0.0);
+        let ci2 = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 1.0,
+            ..ci
+        };
+        assert!(ci2.relative_half_width().is_infinite());
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let ci = ConfidenceInterval::from_samples(&[1.0, 2.0, 3.0], 0.95);
+        let s = ci.to_string();
+        assert!(s.contains("95% CI"));
+        assert!(s.contains("n=3"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Hit/total ratio bookkeeping.
+
+/// Counts successes out of a total number of attempts.
+///
+/// This implements the paper's *success ratio* statistic: the fraction of
+/// demand-fetch I/O operations for which the cache had room to initiate the
+/// full `D·N`-block inter-run prefetch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    hits: u64,
+    total: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an attempt; `hit` marks it as a success.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Records a successful attempt.
+    pub fn hit(&mut self) {
+        self.record(true);
+    }
+
+    /// Records a failed attempt.
+    pub fn miss(&mut self) {
+        self.record(false);
+    }
+
+    /// Number of successes.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of failures.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// Total attempts.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Success ratio in `[0, 1]`; `None` if no attempts were recorded.
+    #[must_use]
+    pub fn ratio(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.total as f64)
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_ratio() {
+        assert_eq!(Counter::new().ratio(), None);
+    }
+
+    #[test]
+    fn ratio_counts_correctly() {
+        let mut c = Counter::new();
+        c.hit();
+        c.hit();
+        c.miss();
+        c.record(true);
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Counter::new();
+        a.hit();
+        let mut b = Counter::new();
+        b.miss();
+        b.hit();
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.hits(), 2);
+    }
+
+    #[test]
+    fn ratio_bounds() {
+        let mut c = Counter::new();
+        for i in 0..100 {
+            c.record(i % 3 == 0);
+        }
+        let r = c.ratio().unwrap();
+        assert!((0.0..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,268 @@
+//! Fixed-width histogram with quantile queries.
+
+/// A histogram over `[low, high)` with equal-width bins plus underflow and
+/// overflow bins.
+///
+/// Used by the disk model to record seek-distance and service-time
+/// distributions, which the test suite compares against the Kwan–Baer
+/// closed-form seek distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[low, high)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `low >= high` or either bound is not finite.
+    #[must_use]
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(low.is_finite() && high.is_finite(), "bounds must be finite");
+        assert!(low < high, "low must be below high");
+        Self {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value < self.low {
+            self.underflow += 1;
+        } else if value >= self.high {
+            self.overflow += 1;
+        } else {
+            let width = (self.high - self.low) / self.bins.len() as f64;
+            let mut idx = ((value - self.low) / width) as usize;
+            // Guard against floating-point edge cases at the upper bound.
+            if idx >= self.bins.len() {
+                idx = self.bins.len() - 1;
+            }
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded samples (including under/overflow).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the lower bound.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of bins (excluding under/overflow).
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// The `[low, high)` interval covered by bin `i`.
+    #[must_use]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        (
+            self.low + i as f64 * width,
+            self.low + (i + 1) as f64 * width,
+        )
+    }
+
+    /// Fraction of in-range samples in bin `i`; `0.0` if nothing in range.
+    #[must_use]
+    pub fn bin_fraction(&self, i: usize) -> f64 {
+        let in_range = self.count - self.underflow - self.overflow;
+        if in_range == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / in_range as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) using linear interpolation
+    /// within the containing bin. Returns `None` if the histogram is empty
+    /// or the quantile falls in the under/overflow region.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cumulative = self.underflow as f64;
+        if target < cumulative {
+            return None; // falls in underflow: value unknown
+        }
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cumulative + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - cumulative) / c as f64;
+                return Some(self.low + (i as f64 + frac) * width);
+            }
+            cumulative = next;
+        }
+        None // falls in overflow
+    }
+
+    /// Mean of in-range samples approximated by bin midpoints; `None` if no
+    /// in-range samples.
+    #[must_use]
+    pub fn approx_mean(&self) -> Option<f64> {
+        let in_range = self.count - self.underflow - self.overflow;
+        if in_range == 0 {
+            return None;
+        }
+        let mut total = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            total += c as f64 * (lo + hi) / 2.0;
+        }
+        Some(total / in_range as f64)
+    }
+
+    /// Merges another histogram with identical bounds and bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.low, other.low, "histogram bounds differ");
+        assert_eq!(self.high, other.high, "histogram bounds differ");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin counts differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(5.5);
+        h.record(9.99);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(5), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // upper bound is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_domain() {
+        let h = Histogram::new(2.0, 6.0, 4);
+        assert_eq!(h.bin_range(0), (2.0, 3.0));
+        assert_eq!(h.bin_range(3), (5.0, 6.0));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..100 {
+            h.record(f64::from(i % 10));
+        }
+        let total: f64 = (0..5).map(|i| h.bin_fraction(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_median_of_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.record(f64::from(i % 100));
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 2.0, "median={median}");
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn approx_mean_of_symmetric_data() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [1.0, 3.0, 5.0, 7.0, 9.0] {
+            h.record(v);
+        }
+        let m = h.approx_mean().unwrap();
+        assert!((m - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(-5.0);
+        a.merge(&b);
+        assert_eq!(a.bin_count(1), 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin counts differ")]
+    fn merge_rejects_mismatched() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 10.0, 5);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

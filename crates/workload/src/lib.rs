@@ -1,0 +1,26 @@
+//! Experiment workloads for the Pai & Varman (ICDE 1992) reproduction.
+//!
+//! Each figure in the paper's evaluation is a family of simulator
+//! configurations swept over one independent variable. This crate encodes
+//! those families once, so the `pm-bench` binaries, the examples, and the
+//! integration tests all run *exactly* the same scenarios:
+//!
+//! * [`paper::fig2_panel`] — total time vs. prefetch depth `N` (Fig. 3.2
+//!   a/b/c).
+//! * [`paper::fig3_cpu_sweep`] — total time vs. CPU time per block
+//!   (Fig. 3.3).
+//! * [`paper::cache_sweep`] — cache-size sweeps shared by Fig. 3.5 (total
+//!   time) and Fig. 3.6 (success ratio), panels a/b/c.
+//!
+//! [`Sweep`]/[`SweepPoint`] carry the scenario structure; [`spec`] provides
+//! a serde-serializable mirror of [`MergeConfig`](pm_core::MergeConfig) so
+//! scenarios can be stored and replayed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod spec;
+mod sweep;
+
+pub use sweep::{Sweep, SweepPoint};

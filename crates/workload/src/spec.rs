@@ -1,0 +1,213 @@
+//! Serializable scenario specifications.
+//!
+//! [`MergeConfig`] is built from simulation-domain
+//! types; [`ScenarioSpec`] mirrors it with plain serde-friendly fields so
+//! scenarios can be written to / read from JSON-like stores and replayed
+//! bit-for-bit.
+
+use pm_core::{
+    AdmissionPolicy, DiskSpec, MergeConfig, PrefetchChoice, PrefetchStrategy, QueueDiscipline,
+    SimDuration, SyncMode, WriteSpec,
+};
+use serde::{Deserialize, Serialize};
+
+/// Serializable prefetching strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "kind")]
+pub enum StrategySpec {
+    /// Demand-fetch only.
+    None,
+    /// Intra-run prefetching of `n` blocks.
+    IntraRun {
+        /// Prefetch depth.
+        n: u32,
+    },
+    /// Inter-run (combined) prefetching of `n` blocks per disk.
+    InterRun {
+        /// Prefetch depth per run.
+        n: u32,
+    },
+    /// Adaptive inter-run prefetching (AIMD depth control).
+    InterRunAdaptive {
+        /// Depth floor.
+        n_min: u32,
+        /// Depth ceiling.
+        n_max: u32,
+    },
+}
+
+/// Serializable inter-run prefetch target policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ChoiceSpec {
+    /// Uniformly random (the paper).
+    #[default]
+    Random,
+    /// Fewest held blocks first.
+    LeastHeld,
+    /// Closest to the disk head first.
+    HeadProximity,
+}
+
+/// A serializable merge-phase scenario.
+///
+/// `cpu_ms_per_block` is carried as fractional milliseconds; all other
+/// fields map one-to-one onto [`MergeConfig`]. The disk is always the
+/// paper's (the spec format pins the reproduction's hardware model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (free-form, used in reports).
+    pub name: String,
+    /// Number of runs `k`.
+    pub runs: u32,
+    /// Blocks per run.
+    pub run_blocks: u32,
+    /// Number of disks `D`.
+    pub disks: u32,
+    /// Strategy.
+    pub strategy: StrategySpec,
+    /// `true` for synchronized operation.
+    pub synchronized: bool,
+    /// `true` for the block-striped (declustered) layout extension.
+    pub striped: bool,
+    /// Cache capacity in blocks.
+    pub cache_blocks: u32,
+    /// CPU time per block in milliseconds.
+    pub cpu_ms_per_block: f64,
+    /// `true` for the greedy admission ablation.
+    pub greedy_admission: bool,
+    /// Inter-run prefetch target policy.
+    pub prefetch_choice: ChoiceSpec,
+    /// Per-run held-block cap for inter-run prefetch targets; 0 = none
+    /// (the paper's setting).
+    pub per_run_cap: u32,
+    /// Number of dedicated write disks; 0 excludes write traffic (the
+    /// paper's setting).
+    pub write_disks: u32,
+    /// Output-buffer blocks (ignored when `write_disks == 0`).
+    pub write_buffer_blocks: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// Builds a spec from a config.
+    #[must_use]
+    pub fn from_config(name: impl Into<String>, cfg: &MergeConfig) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            runs: cfg.runs,
+            run_blocks: cfg.run_blocks,
+            disks: cfg.disks,
+            strategy: match cfg.strategy {
+                PrefetchStrategy::None => StrategySpec::None,
+                PrefetchStrategy::IntraRun { n } => StrategySpec::IntraRun { n },
+                PrefetchStrategy::InterRun { n } => StrategySpec::InterRun { n },
+                PrefetchStrategy::InterRunAdaptive { n_min, n_max } => {
+                    StrategySpec::InterRunAdaptive { n_min, n_max }
+                }
+            },
+            synchronized: cfg.sync == SyncMode::Synchronized,
+            striped: cfg.layout == pm_core::DataLayout::Striped,
+            cache_blocks: cfg.cache_blocks,
+            cpu_ms_per_block: cfg.cpu_per_block.as_millis_f64(),
+            greedy_admission: cfg.admission == AdmissionPolicy::Greedy,
+            prefetch_choice: match cfg.prefetch_choice {
+                PrefetchChoice::Random => ChoiceSpec::Random,
+                PrefetchChoice::LeastHeld => ChoiceSpec::LeastHeld,
+                PrefetchChoice::HeadProximity => ChoiceSpec::HeadProximity,
+            },
+            per_run_cap: cfg.per_run_cap.unwrap_or(0),
+            write_disks: cfg.write.map_or(0, |w| w.disks),
+            write_buffer_blocks: cfg.write.map_or(0, |w| w.buffer_blocks),
+            seed: cfg.seed,
+        }
+    }
+
+    /// Reconstructs the runnable configuration.
+    #[must_use]
+    pub fn to_config(&self) -> MergeConfig {
+        MergeConfig {
+            runs: self.runs,
+            run_blocks: self.run_blocks,
+            disks: self.disks,
+            layout: if self.striped {
+                pm_core::DataLayout::Striped
+            } else {
+                pm_core::DataLayout::Concatenated
+            },
+            strategy: match self.strategy {
+                StrategySpec::None => PrefetchStrategy::None,
+                StrategySpec::IntraRun { n } => PrefetchStrategy::IntraRun { n },
+                StrategySpec::InterRun { n } => PrefetchStrategy::InterRun { n },
+                StrategySpec::InterRunAdaptive { n_min, n_max } => {
+                    PrefetchStrategy::InterRunAdaptive { n_min, n_max }
+                }
+            },
+            sync: if self.synchronized {
+                SyncMode::Synchronized
+            } else {
+                SyncMode::Unsynchronized
+            },
+            cache_blocks: self.cache_blocks,
+            cpu_per_block: SimDuration::from_millis_f64(self.cpu_ms_per_block),
+            admission: if self.greedy_admission {
+                AdmissionPolicy::Greedy
+            } else {
+                AdmissionPolicy::AllOrNothing
+            },
+            prefetch_choice: match self.prefetch_choice {
+                ChoiceSpec::Random => PrefetchChoice::Random,
+                ChoiceSpec::LeastHeld => PrefetchChoice::LeastHeld,
+                ChoiceSpec::HeadProximity => PrefetchChoice::HeadProximity,
+            },
+            discipline: QueueDiscipline::Fifo,
+            disk_spec: DiskSpec::paper(),
+            per_run_cap: (self.per_run_cap > 0).then_some(self.per_run_cap),
+            write: (self.write_disks > 0).then_some(WriteSpec {
+                disks: self.write_disks,
+                buffer_blocks: self.write_buffer_blocks,
+            }),
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_spec() {
+        let mut cfg = MergeConfig::paper_inter(25, 5, 10, 800);
+        cfg.sync = SyncMode::Synchronized;
+        cfg.cpu_per_block = SimDuration::from_millis_f64(0.25);
+        cfg.admission = AdmissionPolicy::Greedy;
+        cfg.seed = 99;
+        let spec = ScenarioSpec::from_config("fig5-point", &cfg);
+        assert_eq!(spec.to_config(), cfg);
+    }
+
+    #[test]
+    fn strategy_variants_round_trip() {
+        for strategy in [
+            PrefetchStrategy::None,
+            PrefetchStrategy::IntraRun { n: 7 },
+            PrefetchStrategy::InterRun { n: 3 },
+            PrefetchStrategy::InterRunAdaptive { n_min: 2, n_max: 9 },
+        ] {
+            let mut cfg = MergeConfig::paper_no_prefetch(10, 2);
+            cfg.strategy = strategy;
+            cfg.cache_blocks = 10 * strategy.depth();
+            let spec = ScenarioSpec::from_config("s", &cfg);
+            assert_eq!(spec.to_config().strategy, strategy);
+        }
+    }
+
+    #[test]
+    fn spec_name_is_carried() {
+        let cfg = MergeConfig::paper_no_prefetch(25, 5);
+        let spec = ScenarioSpec::from_config("baseline", &cfg);
+        assert_eq!(spec.name, "baseline");
+    }
+}

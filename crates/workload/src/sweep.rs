@@ -1,0 +1,92 @@
+//! Parameter-sweep scaffolding.
+
+use pm_core::MergeConfig;
+
+/// One point of a sweep: the independent variable's value and the
+/// fully-built configuration to simulate there.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The independent variable (e.g. `N`, cache blocks, CPU ms/block).
+    pub x: f64,
+    /// Configuration to simulate.
+    pub config: MergeConfig,
+}
+
+/// A named series of sweep points (one curve of a figure).
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Legend label, e.g. `"All Disks One Run (25 runs, 5 disks)"`.
+    pub label: String,
+    /// Axis label of the independent variable.
+    pub x_label: String,
+    /// The points, in ascending `x`.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Builds a sweep by applying `make` to each value of `xs`.
+    pub fn build<I, F>(label: impl Into<String>, x_label: impl Into<String>, xs: I, mut make: F) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+        F: FnMut(f64) -> MergeConfig,
+    {
+        let points = xs
+            .into_iter()
+            .map(|x| SweepPoint { x, config: make(x) })
+            .collect();
+        Sweep {
+            label: label.into(),
+            x_label: x_label.into(),
+            points,
+        }
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the sweep has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Validates every point's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid point's error together with its `x`.
+    pub fn validate(&self) -> Result<(), (f64, pm_core::ConfigError)> {
+        for p in &self.points {
+            p.config.validate().map_err(|e| (p.x, e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_maps_values() {
+        let s = Sweep::build("demo", "N", (1..=5).map(f64::from), |x| {
+            MergeConfig::paper_intra(25, 5, x as u32)
+        });
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.points[2].x, 3.0);
+        assert_eq!(s.points[2].config.cache_blocks, 75);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_reports_offending_x() {
+        let mut s = Sweep::build("bad", "N", [4.0], |x| MergeConfig::paper_intra(25, 5, x as u32));
+        s.points[0].config.cache_blocks = 1;
+        let err = s.validate().unwrap_err();
+        assert_eq!(err.0, 4.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # prefetchmerge
+//!
+//! A complete reproduction of Pai & Varman, *"Prefetching with Multiple
+//! Disks for External Mergesort: Simulation and Analysis"* (ICDE 1992),
+//! as a family of Rust crates. This facade crate re-exports every
+//! sub-crate under one roof; see each module's documentation for details.
+//!
+//! ## Quick start
+//!
+//! See `examples/quickstart.rs` and the README.
+
+#![forbid(unsafe_code)]
+
+pub use pm_analysis as analysis;
+pub use pm_cache as cache;
+pub use pm_core as core;
+pub use pm_disk as disk;
+pub use pm_extsort as extsort;
+pub use pm_report as report;
+pub use pm_sim as sim;
+pub use pm_stats as stats;
+pub use pm_workload as workload;

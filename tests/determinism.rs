@@ -1,0 +1,86 @@
+//! Reproducibility guarantees: identical seeds give bit-identical results
+//! across the whole pipeline, and the workload builders derive distinct,
+//! stable seeds per experiment point.
+
+use pm_core::{run_trials, MergeConfig, MergeSim, PrefetchStrategy, SyncMode};
+use pm_extsort::{external_sort, generate, ExtSortConfig, RunFormation};
+use pm_workload::paper::{fig2_panel, Fig2Panel};
+
+#[test]
+fn whole_reports_are_bit_identical() {
+    for strategy in [
+        PrefetchStrategy::None,
+        PrefetchStrategy::IntraRun { n: 10 },
+        PrefetchStrategy::InterRun { n: 10 },
+    ] {
+        let mut cfg = MergeConfig::paper_no_prefetch(25, 5);
+        cfg.strategy = strategy;
+        cfg.cache_blocks = 25 * strategy.depth() * 2;
+        cfg.seed = 77;
+        let a = MergeSim::run_uniform(cfg).unwrap();
+        let b = MergeSim::run_uniform(cfg).unwrap();
+        assert_eq!(a, b, "{strategy:?} not reproducible");
+    }
+}
+
+#[test]
+fn trials_are_reproducible_but_distinct() {
+    let cfg = MergeConfig::paper_inter(25, 5, 5, 500);
+    let a = run_trials(&cfg, 4).unwrap();
+    let b = run_trials(&cfg, 4).unwrap();
+    for (x, y) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(x, y);
+    }
+    // And the trials within one summary differ from one another.
+    assert!(a.reports.windows(2).any(|w| w[0].total != w[1].total));
+}
+
+#[test]
+fn sync_mode_changes_results_but_not_request_count() {
+    let mut cfg = MergeConfig::paper_intra(25, 5, 10);
+    cfg.seed = 5;
+    cfg.sync = SyncMode::Synchronized;
+    let sync = MergeSim::run_uniform(cfg).unwrap();
+    cfg.sync = SyncMode::Unsynchronized;
+    let unsync = MergeSim::run_uniform(cfg).unwrap();
+    assert_ne!(sync.total, unsync.total);
+    assert_eq!(sync.disk_requests, unsync.disk_requests);
+    assert_eq!(sync.blocks_merged, unsync.blocks_merged);
+}
+
+#[test]
+fn extsort_is_deterministic() {
+    let input = generate::uniform(10_000, 3);
+    let cfg = ExtSortConfig {
+        memory_records: 1_000,
+        records_per_block: 40,
+        run_formation: RunFormation::LoadSort,
+    };
+    let a = external_sort(&input, &cfg);
+    let b = external_sort(&input, &cfg);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.trace, b.trace);
+}
+
+#[test]
+fn workload_builders_are_stable() {
+    let a = fig2_panel(Fig2Panel::A, 1992);
+    let b = fig2_panel(Fig2Panel::A, 1992);
+    for (sa, sb) in a.iter().zip(&b) {
+        assert_eq!(sa.label, sb.label);
+        for (pa, pb) in sa.points.iter().zip(&sb.points) {
+            assert_eq!(pa.config, pb.config);
+        }
+    }
+}
+
+#[test]
+fn replayed_scenario_specs_reproduce_results() {
+    use pm_workload::spec::ScenarioSpec;
+    let mut cfg = MergeConfig::paper_inter(25, 5, 10, 900);
+    cfg.seed = 41;
+    let direct = MergeSim::run_uniform(cfg).unwrap();
+    let spec = ScenarioSpec::from_config("replay", &cfg);
+    let replayed = MergeSim::run_uniform(spec.to_config()).unwrap();
+    assert_eq!(direct, replayed);
+}

@@ -1,0 +1,71 @@
+//! Cross-validation of the Markov admission-policy analysis
+//! (`pm_analysis::markov`) against the discrete-event simulator.
+//!
+//! For one run per disk and `N = 1`, the chain and the simulator share the
+//! same space accounting (frames commit at issue time), so the *average
+//! blocks fetched per demand operation* should agree — the chain abstracts
+//! only service times, which don't affect fetch sizes under the
+//! all-or-nothing policy.
+
+use pm_analysis::markov::{average_parallelism, Policy};
+use pm_core::{AdmissionPolicy, MergeConfig, MergeSim, PrefetchStrategy, SyncMode, UniformDepletion};
+use pm_sim::SimRng;
+
+/// Measures mean fetched blocks per demand op over several trials.
+fn simulated_parallelism(d: u32, cache: u32, policy: AdmissionPolicy, trials: u32) -> f64 {
+    let mut master = SimRng::seed_from_u64(2025);
+    let mut total_fetched = 0u64;
+    let mut total_ops = 0u64;
+    for _ in 0..trials {
+        let mut cfg = MergeConfig::paper_no_prefetch(d, d);
+        cfg.run_blocks = 2_000;
+        cfg.strategy = PrefetchStrategy::InterRun { n: 1 };
+        cfg.sync = SyncMode::Unsynchronized;
+        cfg.cache_blocks = cache;
+        cfg.admission = policy;
+        cfg.seed = master.next_u64();
+        let report = MergeSim::new(cfg)
+            .expect("valid")
+            .run(&mut UniformDepletion);
+        // Every block is fetched once; the initial load (d blocks) is not
+        // a demand operation.
+        total_fetched += report.blocks_merged - u64::from(d);
+        total_ops += report.demand_ops;
+    }
+    total_fetched as f64 / total_ops as f64
+}
+
+#[test]
+fn chain_predicts_simulated_fetch_sizes_all_or_nothing() {
+    for (d, cache) in [(3u32, 9u32), (4, 16), (5, 15)] {
+        let predicted = average_parallelism(d, cache, Policy::AllOrNothing);
+        let measured = simulated_parallelism(d, cache, AdmissionPolicy::AllOrNothing, 3);
+        let rel = (predicted - measured).abs() / predicted;
+        assert!(
+            rel < 0.05,
+            "D={d} C={cache}: chain {predicted:.3} vs sim {measured:.3} (rel {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn chain_predicts_simulated_fetch_sizes_greedy() {
+    for (d, cache) in [(3u32, 9u32), (4, 12)] {
+        let predicted = average_parallelism(d, cache, Policy::Greedy);
+        let measured = simulated_parallelism(d, cache, AdmissionPolicy::Greedy, 3);
+        let rel = (predicted - measured).abs() / predicted;
+        assert!(
+            rel < 0.05,
+            "D={d} C={cache}: chain {predicted:.3} vs sim {measured:.3} (rel {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn starved_cache_matches_unit_parallelism() {
+    let measured = simulated_parallelism(4, 4, AdmissionPolicy::AllOrNothing, 2);
+    assert!(
+        (measured - 1.0).abs() < 0.02,
+        "C = D must demand-fetch one block at a time: {measured}"
+    );
+}
