@@ -10,7 +10,7 @@
 //! Usage: `ablation_admission [--trials n] [--quick]`
 
 use pm_bench::{format_num, Harness};
-use pm_core::{run_trials, AdmissionPolicy, MergeConfig};
+use pm_core::{AdmissionPolicy, MergeConfig};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -44,7 +44,7 @@ fn main() {
             let mut cfg = MergeConfig::paper_inter(k, d, n, cache);
             cfg.admission = policy;
             cfg.seed = harness.seed ^ u64::from(cache);
-            run_trials(&cfg, harness.trials).expect("valid case")
+            harness.run_trials(&cfg).expect("valid case")
         };
         let aon = run_one(AdmissionPolicy::AllOrNothing);
         let greedy = run_one(AdmissionPolicy::Greedy);

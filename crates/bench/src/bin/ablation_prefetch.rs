@@ -10,7 +10,7 @@
 //! Usage: `ablation_prefetch [--trials n] [--quick]`
 
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig, PrefetchChoice};
+use pm_core::{MergeConfig, PrefetchChoice};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -50,7 +50,7 @@ fn main() {
             let mut cfg = MergeConfig::paper_inter(k, d, n, cache);
             cfg.prefetch_choice = policy;
             cfg.seed = harness.seed;
-            let s = run_trials(&cfg, harness.trials).expect("valid case");
+            let s = harness.run_trials(&cfg).expect("valid case");
             let ratio = s.mean_success_ratio.unwrap_or(0.0);
             table.add_row(vec![
                 label.to_string(),

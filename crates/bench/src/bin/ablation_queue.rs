@@ -11,7 +11,7 @@
 //! Usage: `ablation_queue [--trials n] [--quick]`
 
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig, QueueDiscipline};
+use pm_core::{MergeConfig, QueueDiscipline};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -50,7 +50,7 @@ fn main() {
             let mut cfg = base;
             cfg.discipline = discipline;
             cfg.seed = harness.seed;
-            let summary = run_trials(&cfg, harness.trials).expect("valid case");
+            let summary = harness.run_trials(&cfg).expect("valid case");
             let seek_secs: f64 = summary
                 .reports
                 .iter()

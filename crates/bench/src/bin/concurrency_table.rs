@@ -10,7 +10,7 @@
 
 use pm_analysis::urn;
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig};
+use pm_core::{MergeConfig};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -41,7 +41,7 @@ fn main() {
         for n in [30u32, 100] {
             let mut cfg = MergeConfig::paper_intra(k, d, n);
             cfg.seed = harness.seed ^ (u64::from(d) << 8) ^ u64::from(n);
-            let summary = run_trials(&cfg, harness.trials).expect("valid case");
+            let summary = harness.run_trials(&cfg).expect("valid case");
             let measured = summary.mean_concurrency;
             let exact = urn::expected_concurrency(d);
             let asym = urn::expected_concurrency_asymptotic(d);

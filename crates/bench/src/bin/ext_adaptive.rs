@@ -11,7 +11,7 @@
 //! Usage: `ext_adaptive [--trials n] [--quick]`
 
 use pm_bench::{format_num, Harness};
-use pm_core::{run_trials, MergeConfig, PrefetchStrategy};
+use pm_core::{MergeConfig, PrefetchStrategy};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -52,7 +52,7 @@ fn main() {
             }
             let mut cfg = MergeConfig::paper_inter(k, d, n, cache);
             cfg.seed = harness.seed ^ u64::from(cache) ^ (u64::from(n) << 32);
-            let secs = run_trials(&cfg, harness.trials).expect("valid").mean_total_secs;
+            let secs = harness.run_trials(&cfg).expect("valid").mean_total_secs;
             best = best.min(secs);
             row.push(format!("{secs:.1}"));
             csv_row.push(format!("{secs:.3}"));
@@ -60,7 +60,7 @@ fn main() {
         let mut cfg = MergeConfig::paper_inter(k, d, 1, cache);
         cfg.strategy = PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: 20 };
         cfg.seed = harness.seed ^ u64::from(cache);
-        let adaptive = run_trials(&cfg, harness.trials).expect("valid").mean_total_secs;
+        let adaptive = harness.run_trials(&cfg).expect("valid").mean_total_secs;
         row.push(format!("{adaptive:.1}"));
         row.push(format!("{:.2}x", adaptive / best));
         csv_row.push(format!("{adaptive:.3}"));

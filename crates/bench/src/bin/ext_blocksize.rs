@@ -16,7 +16,7 @@
 //! Usage: `ext_blocksize [--trials n]`
 
 use pm_bench::Harness;
-use pm_core::{run_trials, DiskSpec, MergeConfig, PrefetchStrategy};
+use pm_core::{DiskSpec, MergeConfig, PrefetchStrategy};
 use pm_report::{Align, Csv, Table};
 
 const RUN_BYTES: u64 = 4096 * 1000; // the paper's run: 4,096,000 bytes
@@ -58,12 +58,12 @@ fn main() {
         base.run_blocks = run_blocks;
         base.seed = harness.seed ^ u64::from(bs);
 
-        let baseline = run_trials(&base, harness.trials).expect("valid").mean_total_secs;
+        let baseline = harness.run_trials(&base).expect("valid").mean_total_secs;
 
         let mut inter = base;
         inter.strategy = PrefetchStrategy::InterRun { n };
         inter.cache_blocks = cache_blocks;
-        let summary = run_trials(&inter, harness.trials).expect("valid");
+        let summary = harness.run_trials(&inter).expect("valid");
         let ratio = summary.mean_success_ratio.unwrap_or(0.0);
 
         table.add_row(vec![

@@ -10,7 +10,7 @@
 
 use pm_analysis::{pipeline, ModelParams};
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig, PrefetchStrategy};
+use pm_core::{MergeConfig, PrefetchStrategy};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -53,7 +53,7 @@ fn main() {
     let mut baseline_merge = None;
     for (label, mut cfg) in strategies {
         cfg.seed = harness.seed;
-        let merge = run_trials(&cfg, harness.trials).expect("valid").mean_total_secs;
+        let merge = harness.run_trials(&cfg).expect("valid").mean_total_secs;
         let base = *baseline_merge.get_or_insert(merge);
         // The single-disk baseline also forms runs on one disk.
         let f = if cfg.disks == 1 {

@@ -9,7 +9,7 @@
 //! Usage: `ext_variance [--trials n]`  (n = total pool, default 30)
 
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig};
+use pm_core::{run_trials_parallel, MergeConfig};
 use pm_report::{Align, Csv, Table};
 use pm_stats::{ConfidenceInterval, OnlineStats};
 
@@ -48,7 +48,7 @@ fn main() {
 
     for (label, mut cfg) in scenarios {
         cfg.seed = harness.seed;
-        let summary = run_trials(&cfg, pool).expect("valid scenario");
+        let summary = run_trials_parallel(&cfg, pool, harness.jobs).expect("valid scenario");
         let totals: Vec<f64> = summary.reports.iter().map(|r| r.total.as_secs_f64()).collect();
         let stats = OnlineStats::from_slice(&totals);
         let cv = stats.sample_stddev() / stats.mean() * 100.0;

@@ -11,7 +11,7 @@
 //! Usage: `ext_write_traffic [--trials n]`
 
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig, WriteSpec};
+use pm_core::{MergeConfig, WriteSpec};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
     let baseline = {
         let mut cfg = base;
         cfg.seed = harness.seed;
-        run_trials(&cfg, harness.trials).expect("valid").mean_total_secs
+        harness.run_trials(&cfg).expect("valid").mean_total_secs
     };
 
     let mut table = Table::new(vec![
@@ -51,7 +51,7 @@ fn main() {
             buffer_blocks: buffer,
         });
         cfg.seed = harness.seed ^ u64::from(w);
-        let total = run_trials(&cfg, harness.trials).expect("valid").mean_total_secs;
+        let total = harness.run_trials(&cfg).expect("valid").mean_total_secs;
         // Sequential append: ~T per output block on the write side.
         let bound = f64::from(k) * 1000.0 * 2.16e-3 / f64::from(w);
         table.add_row(vec![

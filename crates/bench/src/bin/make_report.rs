@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use pm_analysis::{bounds, equations, urn, ModelParams};
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig, SyncMode};
+use pm_core::{MergeConfig, SyncMode};
 use pm_report::{Align, Table};
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
     let mut case = |label: String, analytic: f64, cfg: MergeConfig| {
         let mut cfg = cfg;
         cfg.seed = harness.seed;
-        let sim = run_trials(&cfg, harness.trials).expect("valid").mean_total_secs;
+        let sim = harness.run_trials(&cfg).expect("valid").mean_total_secs;
         t1.add_row(vec![
             label,
             format!("{analytic:.1}"),
@@ -89,7 +89,7 @@ fn main() {
     for (k, d) in [(25u32, 5u32), (50, 10)] {
         let mut cfg = MergeConfig::paper_intra(k, d, 30);
         cfg.seed = harness.seed;
-        let measured = run_trials(&cfg, harness.trials).expect("valid").mean_concurrency;
+        let measured = harness.run_trials(&cfg).expect("valid").mean_concurrency;
         t2.add_row(vec![
             d.to_string(),
             format!("{measured:.2}"),
@@ -103,12 +103,12 @@ fn main() {
     let baseline = {
         let mut cfg = MergeConfig::paper_no_prefetch(25, 1);
         cfg.seed = harness.seed;
-        run_trials(&cfg, harness.trials).expect("valid").mean_total_secs
+        harness.run_trials(&cfg).expect("valid").mean_total_secs
     };
     let inter = {
         let mut cfg = MergeConfig::paper_inter(25, 5, 10, 1200);
         cfg.seed = harness.seed;
-        run_trials(&cfg, harness.trials).expect("valid").mean_total_secs
+        harness.run_trials(&cfg).expect("valid").mean_total_secs
     };
     let _ = writeln!(
         md,

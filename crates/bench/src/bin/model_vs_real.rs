@@ -14,7 +14,7 @@
 //! Usage: `model_vs_real [--trials n]`
 
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig, MergeSim, PrefetchStrategy, SyncMode};
+use pm_core::{MergeConfig, MergeSim, PrefetchStrategy, SyncMode};
 use pm_extsort::{external_sort, generate, ExtSortConfig, RunFormation};
 use pm_report::{Align, Csv, Table};
 
@@ -83,7 +83,7 @@ fn main() {
             cfg.cache_blocks = cache;
             cfg.seed = harness.seed;
             // Random depletion model, averaged over trials.
-            let model_secs = run_trials(&cfg, harness.trials)
+            let model_secs = harness.run_trials(&cfg)
                 .expect("valid config")
                 .mean_total_secs;
             // Data-driven trace (deterministic given the input).

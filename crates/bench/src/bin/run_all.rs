@@ -1,11 +1,28 @@
-//! Runs every experiment binary in sequence (the full reproduction), by
-//! default in `--quick` mode. Useful as a one-shot regression sweep after
-//! changing the simulator.
+//! Runs every experiment binary (the full reproduction), by default in
+//! `--quick` mode. Useful as a one-shot regression sweep after changing
+//! the simulator.
 //!
-//! Usage: `run_all [--full] [--trials n] [--seed n]`
+//! Usage: `run_all [--full] [--jobs n] [--trials n] [--seed n] [--out dir]`
+//!
+//! `--jobs n` (or the `PM_JOBS` environment variable) launches up to `n`
+//! experiment binaries concurrently (`0` = one per core; default 1).
+//! Each child's output is captured and printed under its banner in the
+//! canonical experiment order once everything has finished, so the
+//! rendered report reads identically for every `--jobs` value — and every
+//! experiment is internally deterministic, so the CSVs are byte-identical
+//! too. `--jobs` is consumed here (it is *not* forwarded): process-level
+//! fan-out already saturates the machine, and nesting worker pools would
+//! only oversubscribe it. All other flags are forwarded to the children.
+//!
+//! Any experiment that exits nonzero (or fails to launch) is reported in
+//! the summary with its exit status, and `run_all` itself exits 1.
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use pm_core::parallel;
 
 const EXPERIMENTS: &[&str] = &[
     "validation_table",
@@ -30,20 +47,62 @@ const EXPERIMENTS: &[&str] = &[
     "make_report",
 ];
 
+/// Outcome of one experiment binary.
+struct Outcome {
+    /// `None` if the binary could not be launched.
+    status: Option<std::process::ExitStatus>,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    launch_error: Option<String>,
+    secs: f64,
+}
+
+impl Outcome {
+    fn succeeded(&self) -> bool {
+        self.status.is_some_and(|s| s.success())
+    }
+
+    fn describe(&self) -> String {
+        match (&self.launch_error, self.status) {
+            (Some(e), _) => format!("failed to launch: {e}"),
+            (None, Some(s)) => format!("exited with {s}"),
+            (None, None) => "unknown failure".into(),
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let passthrough: Vec<&String> = args
-        .iter()
-        .filter(|a| a.as_str() != "--full")
-        .collect();
+    let mut jobs: usize = std::env::var("PM_JOBS")
+        .ok()
+        .map(|v| v.parse().expect("PM_JOBS must be a non-negative integer"))
+        .unwrap_or(1);
+    let mut full = false;
+    let mut passthrough = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--jobs" => {
+                let v = args.next().expect("--jobs needs a value");
+                jobs = v.parse().expect("--jobs must be a non-negative integer");
+            }
+            other => passthrough.push(other.to_string()),
+        }
+    }
     // Sibling binaries live next to this one.
     let mut dir = PathBuf::from(std::env::args().next().expect("argv[0]"));
     dir.pop();
 
-    let mut failed = Vec::new();
-    for exp in EXPERIMENTS {
-        println!("\n================ {exp} ================");
+    let jobs = parallel::effective_jobs(jobs).min(EXPERIMENTS.len());
+    eprintln!(
+        "running {} experiments with {jobs} job{}",
+        EXPERIMENTS.len(),
+        if jobs == 1 { "" } else { "s" }
+    );
+    let started = Instant::now();
+    let completed = AtomicUsize::new(0);
+    let outcomes: Vec<Outcome> = parallel::run_ordered(EXPERIMENTS.len(), jobs, |i| {
+        let exp = EXPERIMENTS[i];
         let mut cmd = Command::new(dir.join(exp));
         if !full {
             cmd.arg("--quick");
@@ -51,23 +110,62 @@ fn main() {
         for a in &passthrough {
             cmd.arg(a);
         }
-        match cmd.status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("{exp} exited with {status}");
-                failed.push(*exp);
-            }
-            Err(e) => {
-                eprintln!("{exp} failed to launch: {e} (build all bins first: cargo build --release -p pm-bench)");
-                failed.push(*exp);
-            }
+        let launched = Instant::now();
+        let outcome = match cmd.output() {
+            Ok(out) => Outcome {
+                status: Some(out.status),
+                stdout: out.stdout,
+                stderr: out.stderr,
+                launch_error: None,
+                secs: launched.elapsed().as_secs_f64(),
+            },
+            Err(e) => Outcome {
+                status: None,
+                stdout: Vec::new(),
+                stderr: Vec::new(),
+                launch_error: Some(format!(
+                    "{e} (build all bins first: cargo build --release -p pm-bench)"
+                )),
+                secs: launched.elapsed().as_secs_f64(),
+            },
+        };
+        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "  [{done}/{}] {exp} {} in {:.1}s (elapsed {:.1}s)",
+            EXPERIMENTS.len(),
+            if outcome.succeeded() { "ok" } else { "FAILED" },
+            outcome.secs,
+            started.elapsed().as_secs_f64()
+        );
+        outcome
+    });
+
+    let mut failed: Vec<(&str, String)> = Vec::new();
+    for (exp, outcome) in EXPERIMENTS.iter().zip(&outcomes) {
+        println!("\n================ {exp} ================");
+        print!("{}", String::from_utf8_lossy(&outcome.stdout));
+        if !outcome.succeeded() {
+            eprint!("{}", String::from_utf8_lossy(&outcome.stderr));
+            eprintln!("{exp} {}", outcome.describe());
+            failed.push((exp, outcome.describe()));
         }
     }
     println!("\n================ summary ================");
     if failed.is_empty() {
-        println!("all {} experiments completed", EXPERIMENTS.len());
+        println!(
+            "all {} experiments completed in {:.1}s",
+            EXPERIMENTS.len(),
+            started.elapsed().as_secs_f64()
+        );
     } else {
-        println!("FAILED: {failed:?}");
+        println!(
+            "{}/{} experiments FAILED:",
+            failed.len(),
+            EXPERIMENTS.len()
+        );
+        for (exp, why) in &failed {
+            println!("  {exp}: {why}");
+        }
         std::process::exit(1);
     }
 }

@@ -6,7 +6,7 @@
 
 use pm_analysis::{bounds, equations, ModelParams};
 use pm_bench::Harness;
-use pm_core::{run_trials, MergeConfig, SyncMode};
+use pm_core::{MergeConfig, SyncMode};
 use pm_report::{Align, Csv, Table};
 
 struct Case {
@@ -109,7 +109,7 @@ fn main() {
     for case in cases(&p) {
         let mut cfg = case.config;
         cfg.seed = harness.seed;
-        let summary = run_trials(&cfg, harness.trials).expect("valid case");
+        let summary = harness.run_trials(&cfg).expect("valid case");
         let sim = summary.mean_total_secs;
         let ratio = sim / case.analytic_secs;
         table.add_row(vec![

@@ -9,14 +9,35 @@
 //! * `--quick` — 2 trials and every 3rd sweep point; for smoke runs.
 //! * `--seed <n>` — master seed (default 1992).
 //! * `--out <dir>` — CSV output directory.
+//! * `--jobs <n>` — worker threads for sweep points and trials
+//!   (default 1; `0` = one per core; also settable via the `PM_JOBS`
+//!   environment variable, with the flag taking precedence).
+//!
+//! ## Parallel execution and determinism
+//!
+//! [`Harness::run_sweeps`] fans every sweep point of a figure out over
+//! `jobs` workers ([`Harness::run_sweeps_parallel`]), and
+//! [`Harness::run_trials`] does the same for a single scenario's trials
+//! via [`pm_core::run_trials_parallel`]. Both are **bit-identical** to
+//! their sequential counterparts for every `jobs` value: trial seeds are
+//! pre-derived from the master seed (the exact sequence the sequential
+//! driver consumes) and results are collected in work-item order before
+//! any output is rendered, so tables, plots and CSV files never depend on
+//! worker count or OS scheduling. Per-point progress lines go to stderr;
+//! all result output (and the CSVs) stays on the deterministic path.
+//! Expect near-linear wall-clock speedup in `min(jobs, points)` until the
+//! experiment runs out of sweep points — the flagship `run_all --full`
+//! reproduction is several times faster on a multicore box.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-use pm_core::{run_trials, TrialSummary};
+use pm_core::{parallel, run_trials_parallel, MergeConfig, TrialSummary};
 use pm_report::{Align, AsciiPlot, Csv, Table};
 use pm_workload::Sweep;
 
@@ -31,6 +52,8 @@ pub struct Harness {
     pub seed: u64,
     /// Directory for CSV output.
     pub out_dir: PathBuf,
+    /// Worker threads for sweep points and trials (`0` = one per core).
+    pub jobs: usize,
 }
 
 impl Default for Harness {
@@ -40,6 +63,7 @@ impl Default for Harness {
             quick: false,
             seed: 1992,
             out_dir: PathBuf::from("target/experiments"),
+            jobs: 1,
         }
     }
 }
@@ -48,12 +72,18 @@ impl Harness {
     /// Parses common flags from `std::env::args`, returning the harness
     /// and the remaining (binary-specific) arguments.
     ///
+    /// `--jobs` falls back to the `PM_JOBS` environment variable when the
+    /// flag is absent, and to `1` when neither is given.
+    ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed flags.
     #[must_use]
     pub fn from_args() -> (Self, Vec<String>) {
         let mut h = Harness::default();
+        if let Ok(v) = std::env::var("PM_JOBS") {
+            h.jobs = v.parse().expect("PM_JOBS must be a non-negative integer");
+        }
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -71,6 +101,10 @@ impl Harness {
                     let v = args.next().expect("--out needs a directory");
                     h.out_dir = PathBuf::from(v);
                 }
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a value");
+                    h.jobs = v.parse().expect("--jobs must be a non-negative integer");
+                }
                 "--quick" => h.quick = true,
                 other => rest.push(other.to_string()),
             }
@@ -79,6 +113,17 @@ impl Harness {
             h.trials = h.trials.min(2);
         }
         (h, rest)
+    }
+
+    /// Runs one scenario's trials over the harness's worker pool.
+    ///
+    /// Bit-identical to [`pm_core::run_trials`] for every `jobs` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`pm_core::ConfigError`] if `cfg` is invalid.
+    pub fn run_trials(&self, cfg: &MergeConfig) -> Result<TrialSummary, pm_core::ConfigError> {
+        run_trials_parallel(cfg, self.trials, self.jobs)
     }
 
     /// Effective sweep points after `--quick` subsampling. Always keeps
@@ -108,6 +153,10 @@ impl Harness {
     /// `<out>/<name>.csv` with `series,x,y` rows. Returns the series as
     /// `(label, points)` pairs for further processing.
     ///
+    /// Delegates to [`Harness::run_sweeps_parallel`], so the harness's
+    /// `jobs` setting applies; with `jobs == 1` the points run strictly
+    /// sequentially, and the output is byte-identical either way.
+    ///
     /// # Panics
     ///
     /// Panics if a scenario is invalid or output files cannot be written.
@@ -119,29 +168,73 @@ impl Harness {
         sweeps: &[Sweep],
         measure: impl Fn(&TrialSummary) -> f64,
     ) -> Vec<(String, Vec<(f64, f64)>)> {
-        let mut series = Vec::new();
+        self.run_sweeps_parallel(name, title, y_label, sweeps, measure)
+    }
+
+    /// [`Harness::run_sweeps`] with every sweep point of every curve
+    /// running concurrently on the harness's worker pool.
+    ///
+    /// Each point's trials run sequentially inside one worker (the
+    /// cross-point fan-out already saturates the pool), so every point
+    /// produces exactly the summary the sequential driver would, and
+    /// results are collected in point order before rendering — the
+    /// printed series and the CSV are byte-identical for every `jobs`
+    /// value. Progress lines (`[name k/total] label x=… (elapsed)`) are
+    /// emitted to stderr as points complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario is invalid or output files cannot be written.
+    pub fn run_sweeps_parallel(
+        &self,
+        name: &str,
+        title: &str,
+        y_label: &str,
+        sweeps: &[Sweep],
+        measure: impl Fn(&TrialSummary) -> f64,
+    ) -> Vec<(String, Vec<(f64, f64)>)> {
+        let thinned: Vec<Sweep> = sweeps.iter().map(|s| self.thin(s)).collect();
+        let items: Vec<(usize, f64, &MergeConfig)> = thinned
+            .iter()
+            .enumerate()
+            .flat_map(|(si, sweep)| sweep.points.iter().map(move |p| (si, p.x, &p.config)))
+            .collect();
+        let total = items.len();
+        let completed = AtomicUsize::new(0);
+        let started = Instant::now();
+        let summaries: Vec<TrialSummary> = parallel::run_ordered(total, self.jobs, |i| {
+            let (si, x, config) = items[i];
+            let summary = pm_core::run_trials(config, self.trials)
+                .unwrap_or_else(|e| panic!("{name}: invalid config at x={x}: {e}"));
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "  [{name} {done}/{total}] {} x={} ({:.1}s)",
+                thinned[si].label,
+                format_num(x),
+                started.elapsed().as_secs_f64()
+            );
+            summary
+        });
+
+        let mut series: Vec<(String, Vec<(f64, f64)>)> = thinned
+            .iter()
+            .map(|s| (s.label.clone(), Vec::with_capacity(s.points.len())))
+            .collect();
         let mut table = Table::new(vec![
             "series".into(),
-            sweeps.first().map_or_else(|| "x".into(), |s| s.x_label.clone()),
+            thinned.first().map_or_else(|| "x".into(), |s| s.x_label.clone()),
             y_label.into(),
         ]);
         table.set_align(1, Align::Right);
         table.set_align(2, Align::Right);
-        for sweep in sweeps {
-            let sweep = self.thin(sweep);
-            let mut points = Vec::with_capacity(sweep.points.len());
-            for p in &sweep.points {
-                let summary = run_trials(&p.config, self.trials)
-                    .unwrap_or_else(|e| panic!("{name}: invalid config at x={}: {e}", p.x));
-                let y = measure(&summary);
-                points.push((p.x, y));
-                table.add_row(vec![
-                    sweep.label.clone(),
-                    format_num(p.x),
-                    format!("{y:.3}"),
-                ]);
-            }
-            series.push((sweep.label.clone(), points));
+        for ((si, x, _), summary) in items.iter().zip(&summaries) {
+            let y = measure(summary);
+            series[*si].1.push((*x, y));
+            table.add_row(vec![
+                thinned[*si].label.clone(),
+                format_num(*x),
+                format!("{y:.3}"),
+            ]);
         }
         println!("== {title} ==\n");
         let mut plot = AsciiPlot::new(format!("{title} ({y_label})"), 72, 20);
@@ -204,7 +297,6 @@ pub fn ensure_dir(path: &Path) -> &Path {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pm_core::MergeConfig;
 
     #[test]
     fn format_num_trims_integers() {
@@ -252,5 +344,53 @@ mod tests {
         assert!(content.starts_with("series,x,secs\n"));
         assert!(content.contains("curve,1,2.000000"));
         let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn harness_run_trials_matches_core_for_any_jobs() {
+        let mut cfg = MergeConfig::paper_intra(4, 2, 5);
+        cfg.run_blocks = 30;
+        let baseline = pm_core::run_trials(&cfg, 3).unwrap();
+        for jobs in [1usize, 2, 8] {
+            let h = Harness {
+                trials: 3,
+                jobs,
+                ..Harness::default()
+            };
+            let summary = h.run_trials(&cfg).unwrap();
+            assert_eq!(summary.reports, baseline.reports, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweeps_write_identical_csv() {
+        let sweeps = vec![
+            Sweep::build("a", "N", (1..=4).map(f64::from), |x| {
+                MergeConfig::paper_intra(4, 2, x as u32)
+            }),
+            Sweep::build("b", "N", (1..=4).map(f64::from), |x| {
+                MergeConfig::paper_intra(6, 3, x as u32)
+            }),
+        ];
+        let run = |jobs: usize, tag: &str| {
+            let dir = std::env::temp_dir().join(format!("pm-bench-test-par-{tag}"));
+            let h = Harness {
+                trials: 2,
+                jobs,
+                out_dir: dir.clone(),
+                ..Harness::default()
+            };
+            let series =
+                h.run_sweeps_parallel("unit_par", "t", "secs", &sweeps, |s| s.mean_total_secs);
+            let csv = fs::read_to_string(dir.join("unit_par.csv")).unwrap();
+            let _ = fs::remove_dir_all(dir);
+            (series, csv)
+        };
+        let (seq_series, seq_csv) = run(1, "seq");
+        for jobs in [2usize, 8] {
+            let (par_series, par_csv) = run(jobs, &format!("j{jobs}"));
+            assert_eq!(seq_series, par_series, "jobs={jobs}");
+            assert_eq!(seq_csv, par_csv, "jobs={jobs}");
+        }
     }
 }

@@ -31,8 +31,9 @@
 //! queueing interference the paper analyzes.
 //!
 //! Entry point: build a [`MergeConfig`], then [`MergeSim::run`] (or
-//! [`run_trials`] for averaged repetitions). Results come back as a
-//! [`MergeReport`].
+//! [`run_trials`] for averaged repetitions, [`run_trials_parallel`] to
+//! fan the trials over a worker pool with bit-identical results).
+//! Results come back as a [`MergeReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +42,7 @@ mod config;
 mod depletion;
 mod layout;
 mod metrics;
+pub mod parallel;
 mod prefetch;
 mod runner;
 mod sim;
@@ -53,7 +55,7 @@ pub use depletion::{DepletionModel, SkewedDepletion, TraceDepletion, UniformDepl
 pub use layout::{RunLayout, RunPlacement};
 pub use metrics::MergeReport;
 pub use prefetch::PrefetchChoice;
-pub use runner::{run_trials, TrialSummary};
+pub use runner::{run_trials, run_trials_parallel, TrialSummary};
 pub use sim::MergeSim;
 pub use strategy::{PrefetchStrategy, SyncMode};
 pub use timeline::{ServiceInterval, StallInterval, Timeline};

@@ -1,9 +1,16 @@
 //! Multi-trial experiment driver.
+//!
+//! Trials are seeded independently: the configuration's master seed
+//! expands to one seed per trial via [`pm_sim::derive_seeds`], so trial
+//! `i` is the same simulation whether it runs in a sequential loop
+//! ([`run_trials`]) or on a worker pool ([`run_trials_parallel`]). The
+//! parallel path is bit-identical to the sequential one by construction —
+//! reports come back in trial-index order — which the
+//! `parallel_determinism` integration suite enforces.
 
-use pm_sim::SimRng;
 use pm_stats::{ConfidenceInterval, OnlineStats};
 
-use crate::{ConfigError, MergeConfig, MergeReport, MergeSim, UniformDepletion};
+use crate::{parallel, ConfigError, MergeConfig, MergeReport, MergeSim, UniformDepletion};
 
 /// Aggregated results of several independent trials of one configuration.
 ///
@@ -50,16 +57,56 @@ pub struct TrialSummary {
 ///
 /// Panics if `trials == 0`.
 pub fn run_trials(cfg: &MergeConfig, trials: u32) -> Result<TrialSummary, ConfigError> {
+    run_trials_parallel(cfg, trials, 1)
+}
+
+/// Runs `trials` independent simulations of `cfg` over up to `jobs`
+/// worker threads and aggregates the results.
+///
+/// Bit-identical to [`run_trials`] for every `jobs` value: all trial
+/// seeds are pre-derived from `cfg.seed` (the exact sequence the
+/// sequential driver consumes, see [`pm_sim::derive_seeds`]), each trial
+/// is an isolated simulation, and reports are collected in trial-index
+/// order before aggregation. `jobs == 0` uses all available cores;
+/// `jobs == 1` runs inline on the calling thread.
+///
+/// # Examples
+///
+/// ```
+/// use pm_core::{run_trials, run_trials_parallel, MergeConfig};
+///
+/// let mut cfg = MergeConfig::paper_intra(4, 2, 5);
+/// cfg.run_blocks = 40;
+/// let sequential = run_trials(&cfg, 3).unwrap();
+/// let parallel = run_trials_parallel(&cfg, 3, 2).unwrap();
+/// assert_eq!(sequential.reports, parallel.reports);
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if `cfg` is invalid.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn run_trials_parallel(
+    cfg: &MergeConfig,
+    trials: u32,
+    jobs: usize,
+) -> Result<TrialSummary, ConfigError> {
     assert!(trials > 0, "need at least one trial");
     cfg.validate()?;
-    let mut master = SimRng::seed_from_u64(cfg.seed);
-    let mut reports = Vec::with_capacity(trials as usize);
-    for _ in 0..trials {
-        let mut trial_cfg = *cfg;
-        trial_cfg.seed = master.next_u64();
-        let report = MergeSim::new(trial_cfg)?.run(&mut UniformDepletion);
-        reports.push(report);
-    }
+    let seeds = pm_sim::derive_seeds(cfg.seed, trials as usize);
+    let base = *cfg;
+    let reports = parallel::run_ordered(trials as usize, jobs, |i| {
+        let mut trial_cfg = base;
+        trial_cfg.seed = seeds[i];
+        // `validate()` is seed-independent, so the per-trial config is
+        // exactly as valid as `cfg` checked above.
+        MergeSim::new(trial_cfg)
+            .expect("seed change cannot invalidate a validated config")
+            .run(&mut UniformDepletion)
+    });
     Ok(TrialSummary::from_reports(reports))
 }
 
@@ -158,6 +205,31 @@ mod tests {
         let mut c = cfg();
         c.cache_blocks = 1;
         assert!(run_trials(&c, 2).is_err());
+        assert!(run_trials_parallel(&c, 2, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let seq = run_trials(&cfg(), 6).unwrap();
+        for jobs in [1, 2, 4, 64, 0] {
+            let par = run_trials_parallel(&cfg(), 6, jobs).unwrap();
+            assert_eq!(seq.reports, par.reports, "jobs={jobs}");
+            assert_eq!(seq.mean_total_secs.to_bits(), par.mean_total_secs.to_bits());
+            assert_eq!(seq.mean_concurrency.to_bits(), par.mean_concurrency.to_bits());
+        }
+    }
+
+    #[test]
+    fn trial_seeds_follow_derived_sequence() {
+        let c = cfg();
+        let summary = run_trials(&c, 3).unwrap();
+        let seeds = pm_sim::derive_seeds(c.seed, 3);
+        for (report, seed) in summary.reports.iter().zip(seeds) {
+            let mut trial_cfg = c;
+            trial_cfg.seed = seed;
+            let direct = MergeSim::new(trial_cfg).unwrap().run(&mut UniformDepletion);
+            assert_eq!(*report, direct);
+        }
     }
 
     #[test]

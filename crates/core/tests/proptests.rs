@@ -5,9 +5,10 @@
 use proptest::prelude::*;
 
 use pm_core::{
-    run_trials, AdmissionPolicy, MergeConfig, MergeSim, PrefetchStrategy, QueueDiscipline,
-    SimDuration, SyncMode,
+    parallel, run_trials, run_trials_parallel, AdmissionPolicy, MergeConfig, MergeSim,
+    PrefetchStrategy, QueueDiscipline, SimDuration, SyncMode,
 };
+use pm_sim::{derive_seeds, SimRng};
 
 #[derive(Debug, Clone)]
 struct Params {
@@ -217,5 +218,60 @@ proptest! {
         // Allow a small noise margin: different admission outcomes change
         // the latency draws.
         prop_assert!(t_big <= t_small * 1.10, "big cache {t_big} vs small {t_small}");
+    }
+
+    /// The pre-derived seed sequence used by the parallel engine is exactly
+    /// the stream the old sequential runner drew incrementally from the
+    /// master RNG — for any master seed and trial count.
+    #[test]
+    fn derived_seeds_equal_incremental_master_stream(
+        master in any::<u64>(),
+        n in 0usize..200,
+    ) {
+        let derived = derive_seeds(master, n);
+        let mut rng = SimRng::seed_from_u64(master);
+        let incremental: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        prop_assert_eq!(derived, incremental);
+    }
+
+    /// Prefixes of the derived sequence are stable: trial i's seed does not
+    /// depend on how many trials were requested.
+    #[test]
+    fn derived_seeds_are_prefix_stable(
+        master in any::<u64>(),
+        short in 0usize..50,
+        extra in 0usize..50,
+    ) {
+        let long = derive_seeds(master, short + extra);
+        prop_assert_eq!(derive_seeds(master, short), &long[..short]);
+    }
+
+    /// Parallel collection is an index identity: for any item count and
+    /// worker count, `run_ordered(n, jobs, f)` is `[f(0), …, f(n-1)]`.
+    #[test]
+    fn run_ordered_is_index_identity(
+        n in 0usize..120,
+        jobs in 0usize..12,
+        salt in any::<u64>(),
+    ) {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+        let expected: Vec<u64> = (0..n).map(f).collect();
+        prop_assert_eq!(parallel::run_ordered(n, jobs, f), expected);
+    }
+
+    /// End to end: `run_trials_parallel` is bit-identical to `run_trials`
+    /// for arbitrary valid configurations and any worker count.
+    #[test]
+    fn parallel_trials_bit_identical_for_arbitrary_configs(
+        p in params(),
+        trials in 1u32..5,
+        jobs in 1usize..9,
+    ) {
+        let cfg = build(&p);
+        prop_assume!(cfg.validate().is_ok());
+        let seq = run_trials(&cfg, trials).expect("validated");
+        let par = run_trials_parallel(&cfg, trials, jobs).expect("validated");
+        prop_assert_eq!(&seq.reports, &par.reports);
+        prop_assert_eq!(seq.mean_total_secs.to_bits(), par.mean_total_secs.to_bits());
     }
 }

@@ -31,5 +31,5 @@ mod time;
 
 pub use events::EventQueue;
 pub use executive::Executive;
-pub use rng::SimRng;
+pub use rng::{derive_seeds, SimRng};
 pub use time::{SimDuration, SimTime};

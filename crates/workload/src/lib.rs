@@ -13,7 +13,7 @@
 //!   time) and Fig. 3.6 (success ratio), panels a/b/c.
 //!
 //! [`Sweep`]/[`SweepPoint`] carry the scenario structure; [`spec`] provides
-//! a serde-serializable mirror of [`MergeConfig`](pm_core::MergeConfig) so
+//! a plain-data mirror of [`MergeConfig`](pm_core::MergeConfig) so
 //! scenarios can be stored and replayed.
 
 #![forbid(unsafe_code)]

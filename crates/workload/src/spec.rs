@@ -1,19 +1,17 @@
-//! Serializable scenario specifications.
+//! Plain-data scenario specifications.
 //!
 //! [`MergeConfig`] is built from simulation-domain
-//! types; [`ScenarioSpec`] mirrors it with plain serde-friendly fields so
-//! scenarios can be written to / read from JSON-like stores and replayed
+//! types; [`ScenarioSpec`] mirrors it with plain scalar fields so
+//! scenarios can be written to / read from external stores and replayed
 //! bit-for-bit.
 
 use pm_core::{
     AdmissionPolicy, DiskSpec, MergeConfig, PrefetchChoice, PrefetchStrategy, QueueDiscipline,
     SimDuration, SyncMode, WriteSpec,
 };
-use serde::{Deserialize, Serialize};
 
-/// Serializable prefetching strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case", tag = "kind")]
+/// Plain-data prefetching strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StrategySpec {
     /// Demand-fetch only.
     None,
@@ -36,9 +34,8 @@ pub enum StrategySpec {
     },
 }
 
-/// Serializable inter-run prefetch target policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+/// Plain-data inter-run prefetch target policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ChoiceSpec {
     /// Uniformly random (the paper).
     #[default]
@@ -49,12 +46,12 @@ pub enum ChoiceSpec {
     HeadProximity,
 }
 
-/// A serializable merge-phase scenario.
+/// A plain-data merge-phase scenario.
 ///
 /// `cpu_ms_per_block` is carried as fractional milliseconds; all other
 /// fields map one-to-one onto [`MergeConfig`]. The disk is always the
 /// paper's (the spec format pins the reproduction's hardware model).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Scenario name (free-form, used in reports).
     pub name: String,

@@ -1,0 +1,122 @@
+//! Deterministic sampling RNG and run configuration.
+
+/// Run configuration (`ProptestConfig` in the real crate).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` accepted samples per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 sampling generator.
+///
+/// Each test function gets its own stream, keyed by the test's full path,
+/// so results never depend on test ordering or parallelism.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator keyed by an arbitrary name (FNV-1a of the bytes).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Generator from an explicit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below() requires n > 0");
+        // Multiply-shift; bias is ≤ n/2^64, irrelevant for sampling.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, n)` for spans that may exceed `u64`.
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "below_u128() requires n > 0");
+        if n <= u128::from(u64::MAX) {
+            u128::from(self.below(n as u64))
+        } else {
+            // Spans wider than 64 bits only arise for full-width integer
+            // ranges; compose two draws.
+            let v = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            v % n
+        }
+    }
+
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::for_test("abc");
+        let mut b = TestRng::for_test("abc");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_names_distinct_streams() {
+        let mut a = TestRng::for_test("abc");
+        let mut b = TestRng::for_test("abd");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..10_000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = TestRng::from_seed(8);
+        for _ in 0..10_000 {
+            let u = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

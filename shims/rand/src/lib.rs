@@ -1,0 +1,93 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace replaces `rand` with this shim via a path dependency. It
+//! provides exactly the surface `pm-sim` (and the test suites) consume:
+//! the fallible [`TryRng`] trait and the infallible [`Rng`] trait with a
+//! blanket impl over infallible `TryRng` implementors, mirroring the
+//! rand 0.10 design. Generators themselves live in `pm-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A random number generator whose operations may fail.
+pub trait TryRng {
+    /// Error produced when the underlying source fails.
+    type Error: core::fmt::Debug;
+
+    /// Returns the next random `u32`, or an error.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Returns the next random `u64`, or an error.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dest` with random bytes, or returns an error.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random number generator.
+///
+/// Blanket-implemented for every [`TryRng`] whose error is `Debug`
+/// (unwrapping is a no-op for `Infallible` errors, which is the only
+/// error type this workspace uses).
+pub trait Rng {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T: TryRng> Rng for T {
+    fn next_u32(&mut self) -> u32 {
+        self.try_next_u32().expect("infallible rng")
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.try_next_u64().expect("infallible rng")
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.try_fill_bytes(dest).expect("infallible rng");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl TryRng for Counter {
+        type Error = std::convert::Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            Ok(self.try_next_u64()? as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            self.0 = self.0.wrapping_add(1);
+            Ok(self.0)
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+            for b in dest {
+                *b = self.try_next_u64()? as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_rng_over_infallible_tryrng() {
+        let mut rng = Counter(0);
+        assert_eq!(rng.next_u64(), 1);
+        assert_eq!(rng.next_u32(), 2);
+        let mut buf = [0u8; 3];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(buf, [3, 4, 5]);
+    }
+}
