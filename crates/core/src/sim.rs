@@ -534,18 +534,23 @@ impl MergeSim {
             if disk == demand_disk {
                 continue;
             }
-            let candidates: Vec<RunId> = match self.cfg.per_run_cap {
-                None => self.fetchable[d as usize].clone(),
-                Some(cap) => self.fetchable[d as usize]
-                    .iter()
-                    .copied()
-                    .filter(|&r| self.cache.held(r) < cap)
-                    .collect(),
+            let filtered: Vec<RunId>;
+            let candidates: &[RunId] = match self.cfg.per_run_cap {
+                // Uncapped: every fetchable run on the disk is a candidate,
+                // so borrow the list directly instead of cloning it.
+                None => &self.fetchable[d as usize],
+                Some(cap) => {
+                    filtered = self.fetchable[d as usize]
+                        .iter()
+                        .copied()
+                        .filter(|&r| self.cache.held(r) < cap)
+                        .collect();
+                    &filtered
+                }
             };
             if candidates.is_empty() {
                 continue;
             }
-            let candidates = &candidates[..];
             let cfg = self.cfg;
             let cache = &self.cache;
             let layout = &self.layout;
