@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of the merge simulator's steady-state hot
+//! path, at the granularity the perf work optimizes: the per-block
+//! depletion step, the demand-fetch path, and the event queue in its
+//! coalesced O(D) operating regime.
+//!
+//! `perf_smoke` (crates/bench/src/bin/perf_smoke.rs) measures the same
+//! code end-to-end in ops/sec; these benches isolate the three layers so a
+//! regression can be localized without re-profiling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pm_core::{DepletionModel, MergeConfig, MergeSim, UniformDepletion};
+use pm_sim::{EventQueue, SimRng, SimTime};
+use pm_cache::RunId;
+use std::hint::black_box;
+
+/// One simulated block consumption: a uniform draw over the live-run set.
+/// This runs once per merged block, so its cost is a floor on everything
+/// the simulator does.
+fn depletion_step(c: &mut Criterion) {
+    c.bench_function("hotpath/depletion_step_100k_k25", |b| {
+        let live: Vec<RunId> = (0..25).map(RunId).collect();
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(42);
+            let mut model = UniformDepletion;
+            let mut acc = 0u32;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(model.next_run(&mut rng, &live).0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// The demand-fetch path end-to-end: no prefetching, so every block miss
+/// goes through `issue_demand` — reserve, dispatch, wait, admit. The
+/// allocation-free claim in DESIGN.md is about this path.
+fn demand_path(c: &mut Criterion) {
+    c.bench_function("hotpath/demand_path_k25_d4", |b| {
+        b.iter_batched(
+            || MergeConfig::paper_no_prefetch(25, 4),
+            |cfg| MergeSim::run_uniform(cfg).expect("valid config"),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// The event queue at its real operating point: completion coalescing
+/// keeps at most one event per disk pending, so the queue holds ~D
+/// elements while the simulation pops and re-arms millions of times.
+/// (substrates.rs benches the same queue at 10k pending — the regime the
+/// flat-vector representation deliberately does *not* target.)
+fn event_queue_coalesced(c: &mut Criterion) {
+    const D: u64 = 8;
+    c.bench_function("hotpath/event_queue_rearm_1M_d8", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(D as usize + 1);
+            let mut rng = SimRng::seed_from_u64(7);
+            for d in 0..D {
+                q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000), d);
+            }
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                let (t, d) = q.pop().expect("queue stays populated");
+                acc = acc.wrapping_add(d);
+                // Re-arm this disk's next completion, as dispatch does.
+                let next = t.as_nanos() + 1 + rng.next_u64() % 1_000;
+                q.schedule(SimTime::from_nanos(next), d);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = depletion_step, demand_path, event_queue_coalesced
+}
+criterion_main!(benches);

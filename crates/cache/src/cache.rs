@@ -150,6 +150,22 @@ impl BlockCache {
         true
     }
 
+    /// [`BlockCache::try_reserve_all`] over [`PrefetchGroup`]s directly,
+    /// so admission policies need not repack the request into pairs —
+    /// this is the allocation-free path the simulator's demand loop uses.
+    #[must_use]
+    pub fn try_reserve_groups(&mut self, groups: &[crate::PrefetchGroup]) -> bool {
+        let total: u32 = groups.iter().map(|g| g.blocks).sum();
+        if self.free < total {
+            return false;
+        }
+        for g in groups {
+            self.free -= g.blocks;
+            self.slots_mut(g.run).reserved += g.blocks;
+        }
+        true
+    }
+
     /// Converts one reserved frame of `run` into a resident block (an
     /// in-flight block arrived from disk).
     ///

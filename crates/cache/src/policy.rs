@@ -37,27 +37,45 @@ impl AdmissionPolicy {
     /// counts under [`AdmissionPolicy::Greedy`]); an empty vector means the
     /// prefetch was not admitted at all. The boolean reports whether the
     /// *entire* request was admitted — the paper's success-ratio event.
+    ///
+    /// Allocates the returned vector; hot paths should prefer
+    /// [`AdmissionPolicy::admit_into`] with a reused scratch buffer.
     pub fn admit(
         self,
         cache: &mut BlockCache,
         groups: &[PrefetchGroup],
     ) -> (Vec<PrefetchGroup>, bool) {
+        let mut admitted = Vec::new();
+        let full = self.admit_into(cache, groups, &mut admitted);
+        (admitted, full)
+    }
+
+    /// [`AdmissionPolicy::admit`] writing the admitted groups into a
+    /// caller-owned buffer instead of allocating one. `admitted` is
+    /// cleared first; after the first few operations its capacity has
+    /// grown to the maximum group count (≤ D) and the call performs no
+    /// heap allocation. Returns whether the *entire* request was admitted.
+    pub fn admit_into(
+        self,
+        cache: &mut BlockCache,
+        groups: &[PrefetchGroup],
+        admitted: &mut Vec<PrefetchGroup>,
+    ) -> bool {
+        admitted.clear();
         let wanted: u32 = groups.iter().map(|g| g.blocks).sum();
         if wanted == 0 {
-            return (Vec::new(), true);
+            return true;
         }
         match self {
             AdmissionPolicy::AllOrNothing => {
-                let pairs: Vec<(RunId, u32)> =
-                    groups.iter().map(|g| (g.run, g.blocks)).collect();
-                if cache.try_reserve_all(&pairs) {
-                    (groups.to_vec(), true)
+                if cache.try_reserve_groups(groups) {
+                    admitted.extend_from_slice(groups);
+                    true
                 } else {
-                    (Vec::new(), false)
+                    false
                 }
             }
             AdmissionPolicy::Greedy => {
-                let mut admitted = Vec::new();
                 let mut remaining = cache.free();
                 for g in groups {
                     if remaining == 0 {
@@ -75,7 +93,7 @@ impl AdmissionPolicy {
                     });
                 }
                 let got: u32 = admitted.iter().map(|g| g.blocks).sum();
-                (admitted, got == wanted)
+                got == wanted
             }
         }
     }

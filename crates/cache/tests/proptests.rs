@@ -88,6 +88,50 @@ proptest! {
         }
     }
 
+    /// The allocating `admit` wrapper and the scratch-buffer `admit_into`
+    /// are two entry points to the same decision: for every policy, group
+    /// list, and cache occupancy they must admit the identical set of
+    /// groups, report the same full/partial outcome, and leave the cache
+    /// in the identical state. The hot path relies on this to swap one for
+    /// the other without changing simulation results.
+    #[test]
+    fn admit_and_admit_into_are_equivalent(
+        capacity in 1u32..200,
+        num_runs in 1u32..16,
+        all_or_nothing in any::<bool>(),
+        preload in prop::collection::vec((any::<u8>(), 0u8..10), 0..8),
+        groups in prop::collection::vec((any::<u8>(), 0u8..10), 0..8),
+        // A dirty scratch buffer must not leak stale entries into the result.
+        stale in prop::collection::vec((any::<u8>(), 0u8..10), 0..4),
+    ) {
+        let policy = if all_or_nothing {
+            AdmissionPolicy::AllOrNothing
+        } else {
+            AdmissionPolicy::Greedy
+        };
+        let clamp = |r: u8| RunId(u32::from(r) % num_runs);
+        let mut cache_a = BlockCache::new(capacity, num_runs);
+        for (r, n) in preload {
+            let _ = cache_a.try_reserve(clamp(r), u32::from(n));
+        }
+        let mut cache_b = cache_a.clone();
+        let groups: Vec<PrefetchGroup> = groups
+            .into_iter()
+            .map(|(r, b)| PrefetchGroup { run: clamp(r), blocks: u32::from(b) })
+            .collect();
+
+        let (admitted_a, full_a) = policy.admit(&mut cache_a, &groups);
+        let mut admitted_b: Vec<PrefetchGroup> = stale
+            .into_iter()
+            .map(|(r, b)| PrefetchGroup { run: clamp(r), blocks: u32::from(b) })
+            .collect();
+        let full_b = policy.admit_into(&mut cache_b, &groups, &mut admitted_b);
+
+        prop_assert_eq!(admitted_a, admitted_b, "admitted sets differ");
+        prop_assert_eq!(full_a, full_b, "full/partial outcome differs");
+        prop_assert_eq!(cache_a, cache_b, "cache state diverged");
+    }
+
     /// `held` always equals `resident + reserved`, and global counters are
     /// consistent with per-run counters.
     #[test]

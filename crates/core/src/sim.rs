@@ -107,6 +107,14 @@ pub struct MergeSim {
     /// Current per-operation depth (fixed strategies keep it constant;
     /// the adaptive strategy moves it by AIMD on admission outcomes).
     current_depth: u32,
+    /// Scratch buffers reused across demand operations so the steady-state
+    /// hot path performs zero heap allocations: desired prefetch groups,
+    /// the groups the admission policy accepted, and (under `per_run_cap`)
+    /// the filtered candidate list. Cleared before each use; capacity
+    /// settles at ≤ D+1 groups / ≤ runs-per-disk candidates.
+    scratch_groups: Vec<PrefetchGroup>,
+    scratch_admitted: Vec<PrefetchGroup>,
+    scratch_candidates: Vec<RunId>,
     writer: Option<Writer>,
     /// All blocks merged; waiting only for the write drain.
     cpu_done: bool,
@@ -216,9 +224,15 @@ impl MergeSim {
             }
         }
         let expected_blocks = layout.total_blocks();
+        // The event list is O(D): one in-flight completion per read disk,
+        // one per write disk, plus the CPU step. Size it once so the
+        // steady state never grows the heap.
+        let write_disks = cfg.write.map_or(0, |w| w.disks) as usize;
+        let event_capacity = cfg.disks as usize + write_disks + 1;
+        let group_capacity = cfg.disks as usize + 1;
         MergeSim {
             cfg,
-            exec: Executive::new(),
+            exec: Executive::with_capacity(event_capacity),
             disks,
             cache,
             layout,
@@ -232,6 +246,9 @@ impl MergeSim {
             cpu_free_at: SimTime::ZERO,
             cpu_scheduled: false,
             current_depth: cfg.strategy.depth(),
+            scratch_groups: Vec::with_capacity(group_capacity),
+            scratch_admitted: Vec::with_capacity(group_capacity),
+            scratch_candidates: Vec::with_capacity(cfg.runs as usize),
             writer,
             cpu_done: false,
             busy: BusyTracker::default(),
@@ -258,11 +275,17 @@ impl MergeSim {
 
     /// Runs the simulation to completion with the given depletion model.
     ///
+    /// Generic over the model (`?Sized`, so `&mut dyn DepletionModel`
+    /// still works) so that concrete callers like
+    /// [`MergeSim::run_uniform`] monomorphize: the model's per-block run
+    /// choice inlines into the event loop instead of costing a virtual
+    /// call per merged block.
+    ///
     /// # Panics
     ///
     /// Panics if the depletion model misbehaves (returns dead runs or
     /// exhausts a trace early) or an internal invariant is violated.
-    pub fn run(mut self, model: &mut dyn DepletionModel) -> MergeReport {
+    pub fn run<M: DepletionModel + ?Sized>(mut self, model: &mut M) -> MergeReport {
         self.run_loop(model);
         self.build_report()
     }
@@ -273,14 +296,20 @@ impl MergeSim {
     /// # Panics
     ///
     /// As [`MergeSim::run`].
-    pub fn run_traced(mut self, model: &mut dyn DepletionModel) -> (MergeReport, Timeline) {
+    pub fn run_traced<M: DepletionModel + ?Sized>(mut self, model: &mut M) -> (MergeReport, Timeline) {
         self.timeline = Some(Timeline::default());
         self.run_loop(model);
         let timeline = self.timeline.take().expect("enabled above");
         (self.build_report(), timeline)
     }
 
-    fn run_loop(&mut self, model: &mut dyn DepletionModel) {
+    fn run_loop<M: DepletionModel + ?Sized>(&mut self, model: &mut M) {
+        // Completion events are coalesced per device: a disk only ever has
+        // its *next* completion in the event list and re-arms on dispatch,
+        // so the list holds at most one event per read disk, one per write
+        // disk, and one CPU step — O(D), independent of in-flight blocks.
+        let event_bound =
+            self.cfg.disks as usize + self.cfg.write.map_or(0, |w| w.disks) as usize + 1;
         self.initial_load();
         while let Some(ev) = self.exec.next() {
             match ev {
@@ -288,6 +317,11 @@ impl MergeSim {
                 Event::WriteDone(d) => self.on_write_done(d),
                 Event::CpuStep => self.on_cpu_step(model),
             }
+            debug_assert!(
+                self.exec.pending() <= event_bound,
+                "event list grew past the O(D) bound: {} > {event_bound}",
+                self.exec.pending()
+            );
         }
     }
 
@@ -414,7 +448,7 @@ impl MergeSim {
         }
     }
 
-    fn on_cpu_step(&mut self, model: &mut dyn DepletionModel) {
+    fn on_cpu_step<M: DepletionModel + ?Sized>(&mut self, model: &mut M) {
         self.cpu_scheduled = false;
         loop {
             let now = self.exec.now();
@@ -523,29 +557,38 @@ impl MergeSim {
     fn issue_inter_run(&mut self, now: SimTime, j: RunId, demand_blocks: u32) -> u32 {
         let depth = self.current_depth;
         let demand_disk = self.layout.placement(j).disk;
+        // The scratch buffers are moved out of `self` for the duration of
+        // the operation (a pointer swap, no allocation) so the borrow
+        // checker sees them as locals while the loop also reads
+        // `self.fetchable`, `self.cache`, etc.
+        let mut groups = std::mem::take(&mut self.scratch_groups);
+        let mut candidate_buf = std::mem::take(&mut self.scratch_candidates);
+        let mut admitted = std::mem::take(&mut self.scratch_admitted);
+        groups.clear();
         // Desired groups, demand run first (so greedy admission always
         // covers the demand block).
-        let mut groups = vec![PrefetchGroup {
+        groups.push(PrefetchGroup {
             run: j,
             blocks: demand_blocks,
-        }];
+        });
         for d in 0..self.cfg.disks as u16 {
             let disk = DiskId(d);
             if disk == demand_disk {
                 continue;
             }
-            let filtered: Vec<RunId>;
             let candidates: &[RunId] = match self.cfg.per_run_cap {
                 // Uncapped: every fetchable run on the disk is a candidate,
-                // so borrow the list directly instead of cloning it.
+                // so borrow the list directly instead of copying it.
                 None => &self.fetchable[d as usize],
                 Some(cap) => {
-                    filtered = self.fetchable[d as usize]
-                        .iter()
-                        .copied()
-                        .filter(|&r| self.cache.held(r) < cap)
-                        .collect();
-                    &filtered
+                    candidate_buf.clear();
+                    candidate_buf.extend(
+                        self.fetchable[d as usize]
+                            .iter()
+                            .copied()
+                            .filter(|&r| self.cache.held(r) < cap),
+                    );
+                    &candidate_buf
                 }
             };
             if candidates.is_empty() {
@@ -579,7 +622,10 @@ impl MergeSim {
             // random, so shuffle the non-demand groups.
             self.rng.shuffle(&mut groups[1..]);
         }
-        let (admitted, full) = self.cfg.admission.admit(&mut self.cache, &groups);
+        let full = self
+            .cfg
+            .admission
+            .admit_into(&mut self.cache, &groups, &mut admitted);
         if full {
             self.full_prefetch_ops += 1;
         }
@@ -592,20 +638,25 @@ impl MergeSim {
                 (self.current_depth / 2).max(n_min)
             };
         }
-        if admitted.is_empty() {
+        let issued = if admitted.is_empty() {
             // All-or-nothing rejection: fetch only the demand block. The
             // depletion that triggered this demand just freed a frame.
             self.fallback_ops += 1;
             self.cache.reserve(j, 1);
             self.submit_blocks(now, j, self.runs[j.0 as usize].next_fetch, 1);
-            return 1;
-        }
-        let mut issued = 0;
-        for g in &admitted {
-            let start = self.runs[g.run.0 as usize].next_fetch;
-            self.submit_blocks(now, g.run, start, g.blocks);
-            issued += g.blocks;
-        }
+            1
+        } else {
+            let mut issued = 0;
+            for g in &admitted {
+                let start = self.runs[g.run.0 as usize].next_fetch;
+                self.submit_blocks(now, g.run, start, g.blocks);
+                issued += g.blocks;
+            }
+            issued
+        };
+        self.scratch_groups = groups;
+        self.scratch_candidates = candidate_buf;
+        self.scratch_admitted = admitted;
         issued
     }
 

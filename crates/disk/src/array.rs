@@ -16,6 +16,9 @@ use crate::{
 #[derive(Debug, Clone)]
 pub struct DiskArray {
     disks: Vec<Disk>,
+    /// Drives currently servicing a request, maintained incrementally on
+    /// submit/complete so the per-event busy query is O(1), not O(D).
+    busy: usize,
 }
 
 impl DiskArray {
@@ -38,7 +41,7 @@ impl DiskArray {
                 )
             })
             .collect();
-        DiskArray { disks }
+        DiskArray { disks, busy: 0 }
     }
 
     /// Number of drives.
@@ -65,17 +68,35 @@ impl DiskArray {
 
     /// Routes a request to its addressed drive.
     pub fn submit(&mut self, now: SimTime, req: DiskRequest) -> (RequestId, Option<StartedService>) {
-        self.disks[req.disk.0 as usize].submit(now, req)
+        let (id, started) = self.disks[req.disk.0 as usize].submit(now, req);
+        if started.is_some() {
+            // The drive was idle and went straight into service.
+            self.busy += 1;
+        }
+        debug_assert_eq!(self.busy, self.scan_busy());
+        (id, started)
     }
 
     /// Completes the in-service request on `id`.
     pub fn complete(&mut self, now: SimTime, id: DiskId) -> (CompletedRequest, Option<StartedService>) {
-        self.disks[id.0 as usize].complete(now)
+        let (done, next) = self.disks[id.0 as usize].complete(now);
+        if next.is_none() {
+            // The drive's queue drained; it fell idle.
+            self.busy -= 1;
+        }
+        debug_assert_eq!(self.busy, self.scan_busy());
+        (done, next)
     }
 
-    /// Number of drives currently servicing a request.
+    /// Number of drives currently servicing a request (O(1): maintained
+    /// incrementally, verified against a full scan in debug builds).
     #[must_use]
     pub fn busy_count(&self) -> usize {
+        self.busy
+    }
+
+    /// Reference count of busy drives by scanning every disk.
+    fn scan_busy(&self) -> usize {
         self.disks.iter().filter(|d| d.is_busy()).count()
     }
 
@@ -153,6 +174,29 @@ mod tests {
         a.submit(SimTime::ZERO, req(1, 100));
         a.submit(SimTime::ZERO, req(1, 200));
         assert_eq!(a.queued_count(), 3);
+    }
+
+    #[test]
+    fn busy_count_tracks_submit_complete_cycle() {
+        let mut a = array(2);
+        assert_eq!(a.busy_count(), 0);
+        let (_, s0) = a.submit(SimTime::ZERO, req(0, 0));
+        assert_eq!(a.busy_count(), 1);
+        // Second request on the same disk queues: still one busy drive.
+        a.submit(SimTime::ZERO, req(0, 100));
+        assert_eq!(a.busy_count(), 1);
+        let (_, s1) = a.submit(SimTime::ZERO, req(1, 0));
+        assert_eq!(a.busy_count(), 2);
+        // Disk 0 chains into its queued request: stays busy.
+        let t0 = s0.unwrap().completion_at;
+        let (_, next) = a.complete(t0, DiskId(0));
+        assert!(next.is_some());
+        assert_eq!(a.busy_count(), 2);
+        // Disk 1 drains: falls idle.
+        let t1 = s1.unwrap().completion_at;
+        let (_, next) = a.complete(t1, DiskId(1));
+        assert!(next.is_none());
+        assert_eq!(a.busy_count(), 1);
     }
 
     #[test]

@@ -46,16 +46,32 @@ impl QueueDiscipline {
         head: Cylinder,
         direction: SweepDirection,
     ) -> Option<(usize, SweepDirection)> {
-        if targets.is_empty() {
+        self.select_indexed(targets.len(), |i| targets[i], head, direction)
+    }
+
+    /// [`QueueDiscipline::select`] without materializing the cylinder
+    /// list: `cylinder_at(i)` maps a queue index to its target cylinder
+    /// and is only invoked for disciplines that need positions — FIFO
+    /// picks index 0 without computing a single cylinder. This keeps the
+    /// per-completion dispatch path allocation-free.
+    #[must_use]
+    pub fn select_indexed(
+        self,
+        len: usize,
+        cylinder_at: impl Fn(usize) -> Cylinder,
+        head: Cylinder,
+        direction: SweepDirection,
+    ) -> Option<(usize, SweepDirection)> {
+        if len == 0 {
             return None;
         }
         match self {
             QueueDiscipline::Fifo => Some((0, direction)),
             QueueDiscipline::Sstf => {
                 let mut best = 0usize;
-                let mut best_dist = targets[0].distance(head);
-                for (i, &t) in targets.iter().enumerate().skip(1) {
-                    let d = t.distance(head);
+                let mut best_dist = cylinder_at(0).distance(head);
+                for i in 1..len {
+                    let d = cylinder_at(i).distance(head);
                     if d < best_dist {
                         best = i;
                         best_dist = d;
@@ -66,7 +82,8 @@ impl QueueDiscipline {
             QueueDiscipline::Look => {
                 let ahead = |dir: SweepDirection| -> Option<usize> {
                     let mut best: Option<(usize, u32)> = None;
-                    for (i, &t) in targets.iter().enumerate() {
+                    for i in 0..len {
+                        let t = cylinder_at(i);
                         let in_sweep = match dir {
                             SweepDirection::Up => t.0 >= head.0,
                             SweepDirection::Down => t.0 <= head.0,

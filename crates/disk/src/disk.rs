@@ -215,12 +215,17 @@ impl Disk {
     }
 
     fn start_next(&mut self, now: SimTime) -> Option<StartedService> {
-        let targets: Vec<Cylinder> = self
-            .queue
-            .iter()
-            .map(|q| self.spec.geometry.cylinder_of(q.req.start))
-            .collect();
-        let (idx, sweep) = self.discipline.select(&targets, self.head, self.sweep)?;
+        // Indexed selection: FIFO (the paper's model) never computes a
+        // cylinder, and the reordering disciplines read targets straight
+        // from the queue — no per-completion allocation either way.
+        let geometry = &self.spec.geometry;
+        let queue = &self.queue;
+        let (idx, sweep) = self.discipline.select_indexed(
+            queue.len(),
+            |i| geometry.cylinder_of(queue[i].req.start),
+            self.head,
+            self.sweep,
+        )?;
         self.sweep = sweep;
         let queued = self.queue.remove(idx).expect("selected index in range");
         Some(self.begin_service(now, queued))

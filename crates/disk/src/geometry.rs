@@ -85,7 +85,17 @@ impl DiskGeometry {
             addr.0,
             self.capacity_blocks()
         );
-        Cylinder((addr.0 / self.blocks_per_cylinder()) as u32)
+        // The divisor is a runtime value the compiler cannot strength-
+        // reduce, yet every request service computes a cylinder. All
+        // realistic geometries (including the paper's 64-block cylinders)
+        // have power-of-two cylinder capacity, so shift in that case.
+        let bpc = self.blocks_per_cylinder();
+        let cyl = if bpc.is_power_of_two() {
+            addr.0 >> bpc.trailing_zeros()
+        } else {
+            addr.0 / bpc
+        };
+        Cylinder(cyl as u32)
     }
 
     /// Whether a span of `len` blocks starting at `addr` fits on the disk.

@@ -19,7 +19,14 @@ pub struct DiskStats {
     latency_total: SimDuration,
     transfer_total: SimDuration,
     busy_total: SimDuration,
-    queue_wait: OnlineStats,
+    /// Queue-wait moments in raw nanoseconds. Accumulated in integer
+    /// arithmetic — exact, associative under [`DiskStats::merge`], and
+    /// cheaper per request than a floating-point Welford update — then
+    /// converted to an [`OnlineStats`] summary on demand.
+    queue_wait_sum_ns: u128,
+    queue_wait_sumsq_ns: u128,
+    queue_wait_min_ns: u64,
+    queue_wait_max_ns: u64,
     seek_distance: Histogram,
 }
 
@@ -36,7 +43,10 @@ impl DiskStats {
             latency_total: SimDuration::ZERO,
             transfer_total: SimDuration::ZERO,
             busy_total: SimDuration::ZERO,
-            queue_wait: OnlineStats::new(),
+            queue_wait_sum_ns: 0,
+            queue_wait_sumsq_ns: 0,
+            queue_wait_min_ns: u64::MAX,
+            queue_wait_max_ns: 0,
             seek_distance: Histogram::new(0.0, f64::from(max_cylinder.max(1)), 64),
         }
     }
@@ -58,7 +68,11 @@ impl DiskStats {
         self.latency_total += breakdown.latency;
         self.transfer_total += breakdown.transfer;
         self.busy_total += breakdown.total();
-        self.queue_wait.push(queue_wait.as_millis_f64());
+        let wait_ns = queue_wait.as_nanos();
+        self.queue_wait_sum_ns += u128::from(wait_ns);
+        self.queue_wait_sumsq_ns += u128::from(wait_ns) * u128::from(wait_ns);
+        self.queue_wait_min_ns = self.queue_wait_min_ns.min(wait_ns);
+        self.queue_wait_max_ns = self.queue_wait_max_ns.max(wait_ns);
         if !sequential {
             self.seek_distance.record(f64::from(seek_cylinders));
         }
@@ -106,10 +120,18 @@ impl DiskStats {
         self.busy_total
     }
 
-    /// Queue-wait statistics, in milliseconds.
+    /// Queue-wait statistics, in milliseconds (one sample per request),
+    /// summarized from the exact integer moments.
     #[must_use]
-    pub fn queue_wait_ms(&self) -> &OnlineStats {
-        &self.queue_wait
+    pub fn queue_wait_ms(&self) -> OnlineStats {
+        const NS_PER_MS: f64 = 1.0e6;
+        OnlineStats::from_moments(
+            self.requests,
+            self.queue_wait_sum_ns as f64 / NS_PER_MS,
+            self.queue_wait_sumsq_ns as f64 / (NS_PER_MS * NS_PER_MS),
+            self.queue_wait_min_ns as f64 / NS_PER_MS,
+            self.queue_wait_max_ns as f64 / NS_PER_MS,
+        )
     }
 
     /// Seek-distance histogram (cylinders; non-sequential requests only).
@@ -138,7 +160,10 @@ impl DiskStats {
         self.latency_total += other.latency_total;
         self.transfer_total += other.transfer_total;
         self.busy_total += other.busy_total;
-        self.queue_wait.merge(&other.queue_wait);
+        self.queue_wait_sum_ns += other.queue_wait_sum_ns;
+        self.queue_wait_sumsq_ns += other.queue_wait_sumsq_ns;
+        self.queue_wait_min_ns = self.queue_wait_min_ns.min(other.queue_wait_min_ns);
+        self.queue_wait_max_ns = self.queue_wait_max_ns.max(other.queue_wait_max_ns);
         self.seek_distance.merge(&other.seek_distance);
     }
 }

@@ -50,6 +50,18 @@ impl<E> Executive<E> {
         }
     }
 
+    /// Creates an executive whose event list has room for `capacity`
+    /// pending events, so a simulation with a known event-list bound
+    /// (O(D) for the merge simulator) never reallocates it.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Executive {
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+            dispatched: 0,
+        }
+    }
+
     /// Current simulated time.
     #[must_use]
     pub fn now(&self) -> SimTime {

@@ -10,6 +10,10 @@
 pub struct Histogram {
     low: f64,
     high: f64,
+    /// Bin width, fixed at construction: `(high - low) / bins`. Stored so
+    /// the per-sample path divides by it instead of re-deriving it (the
+    /// quotient — and therefore every bin index — is unchanged).
+    width: f64,
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
@@ -30,6 +34,7 @@ impl Histogram {
         Self {
             low,
             high,
+            width: (high - low) / bins as f64,
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
@@ -45,8 +50,7 @@ impl Histogram {
         } else if value >= self.high {
             self.overflow += 1;
         } else {
-            let width = (self.high - self.low) / self.bins.len() as f64;
-            let mut idx = ((value - self.low) / width) as usize;
+            let mut idx = ((value - self.low) / self.width) as usize;
             // Guard against floating-point edge cases at the upper bound.
             if idx >= self.bins.len() {
                 idx = self.bins.len() - 1;
