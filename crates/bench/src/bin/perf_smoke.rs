@@ -19,6 +19,9 @@
 //! * `--max-regress <pct>` — regression tolerance (default 30).
 //! * `--check-alloc` — exit non-zero unless the steady-state demand path
 //!   performs zero heap allocations per merged block.
+//! * `--check-trace` — exit non-zero unless a run recorded with a
+//!   `RecordingSink` reports bit-identically to the default (`NullSink`)
+//!   build of the same configuration — tracing must be observation-only.
 //!
 //! Ops/sec numbers are machine-dependent; the committed baseline under
 //! `crates/bench/baseline/` tracks the trajectory on one reference box and
@@ -31,7 +34,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use pm_core::{MergeConfig, MergeSim, SyncMode, UniformDepletion};
+use pm_core::{MergeConfig, MergeSim, RecordingSink, SyncMode, UniformDepletion};
 
 /// A pass-through allocator that counts every allocation, so the harness
 /// can prove the simulator's steady state is allocation-free.
@@ -210,6 +213,29 @@ fn alloc_probe() -> AllocProbe {
     }
 }
 
+/// Tracing-equivalence probe: the same configuration run with the default
+/// `NullSink` and with a `RecordingSink` must produce bit-identical
+/// reports — the sink only observes, it never participates. Returns
+/// whether the probe passed.
+fn trace_check() -> bool {
+    let cfg = MergeConfig::paper_inter(25, 8, 10, 1200);
+    let untraced = MergeSim::run_uniform(cfg).expect("valid probe config");
+    let (traced, sink) = MergeSim::new(cfg)
+        .expect("valid probe config")
+        .replace_sink(RecordingSink::unbounded())
+        .run_with_sink(&mut UniformDepletion);
+    if untraced == traced {
+        println!(
+            "ok: traced run bit-identical to untraced ({} events recorded)",
+            sink.total_emitted()
+        );
+        true
+    } else {
+        eprintln!("FAIL: recording a trace changed the simulation report");
+        false
+    }
+}
+
 fn render_json(results: &[Measured], probe: &AllocProbe) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"pm-bench/perf-smoke/v1\",\n  \"scenarios\": [\n");
@@ -280,6 +306,7 @@ fn main() -> ExitCode {
     let mut baseline: Option<String> = None;
     let mut max_regress_pct = 30.0f64;
     let mut check_alloc = false;
+    let mut check_trace = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -302,6 +329,7 @@ fn main() -> ExitCode {
                     .expect("--max-regress must be a number");
             }
             "--check-alloc" => check_alloc = true,
+            "--check-trace" => check_trace = true,
             other => panic!("unknown flag: {other}"),
         }
     }
@@ -335,6 +363,9 @@ fn main() -> ExitCode {
             "FAIL: steady-state demand path allocates ({:.4} allocs per merged block)",
             probe.per_block_allocs
         );
+        failed = true;
+    }
+    if check_trace && !trace_check() {
         failed = true;
     }
     if let Some(path) = baseline {

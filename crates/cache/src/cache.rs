@@ -1,5 +1,8 @@
 //! The counting block cache.
 
+use pm_sim::SimTime;
+use pm_trace::{EventKind, TraceEvent, TraceSink};
+
 /// Identifies one sorted run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RunId(pub u32);
@@ -190,6 +193,26 @@ impl BlockCache {
         assert!(s.resident > 0, "depletion of run {run:?} with no resident block");
         s.resident -= 1;
         self.free += 1;
+    }
+
+    /// [`BlockCache::deplete`] with tracing: additionally emits a
+    /// [`EventKind::CacheEvictConsumed`] (with the free count *after* the
+    /// frame returned) into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// As [`BlockCache::deplete`].
+    pub fn deplete_traced<S: TraceSink>(&mut self, run: RunId, now: SimTime, sink: &mut S) {
+        self.deplete(run);
+        if S::ENABLED {
+            sink.emit(TraceEvent {
+                at: now,
+                kind: EventKind::CacheEvictConsumed {
+                    run: run.0,
+                    free: self.free,
+                },
+            });
+        }
     }
 
     /// Releases `n` reserved frames of `run` without an arrival (used when

@@ -1,5 +1,8 @@
 //! Prefetch admission policies.
 
+use pm_sim::SimTime;
+use pm_trace::{EventKind, TraceEvent, TraceSink};
+
 use crate::{BlockCache, RunId};
 
 /// One run's share of a prefetch operation: `blocks` frames wanted for
@@ -96,6 +99,57 @@ impl AdmissionPolicy {
                 got == wanted
             }
         }
+    }
+
+    /// [`AdmissionPolicy::admit_into`] with tracing: additionally emits one
+    /// [`EventKind::CacheAdmit`] per group (partially) reserved and one
+    /// [`EventKind::CacheReject`] per group (partially) turned away.
+    pub fn admit_into_traced<S: TraceSink>(
+        self,
+        cache: &mut BlockCache,
+        groups: &[PrefetchGroup],
+        admitted: &mut Vec<PrefetchGroup>,
+        now: SimTime,
+        sink: &mut S,
+    ) -> bool {
+        let full = self.admit_into(cache, groups, admitted);
+        if S::ENABLED {
+            // `admitted` is an in-order subsequence of `groups` with
+            // possibly reduced counts (equal to it when `full`); walk the
+            // two together to report the per-group outcome.
+            let mut j = 0;
+            for g in groups {
+                if g.blocks == 0 {
+                    continue;
+                }
+                let got = match admitted.get(j) {
+                    Some(a) if a.run == g.run => {
+                        j += 1;
+                        a.blocks
+                    }
+                    _ => 0,
+                };
+                if got > 0 {
+                    sink.emit(TraceEvent {
+                        at: now,
+                        kind: EventKind::CacheAdmit {
+                            run: g.run.0,
+                            blocks: got,
+                        },
+                    });
+                }
+                if got < g.blocks {
+                    sink.emit(TraceEvent {
+                        at: now,
+                        kind: EventKind::CacheReject {
+                            run: g.run.0,
+                            blocks: g.blocks - got,
+                        },
+                    });
+                }
+            }
+        }
+        full
     }
 }
 

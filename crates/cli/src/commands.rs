@@ -2,10 +2,11 @@
 
 use pm_analysis::{bounds, equations, urn, ModelParams};
 use pm_core::{
-    run_trials, AdmissionPolicy, MergeConfig, PrefetchChoice, PrefetchStrategy, SimDuration,
-    SyncMode, WriteSpec,
+    run_trials, run_trials_traced, AdmissionPolicy, MergeConfig, PrefetchChoice, PrefetchStrategy,
+    SimDuration, SyncMode, WriteSpec,
 };
 use pm_report::{Align, AsciiPlot, Table};
+use pm_trace::{export, TraceMetrics};
 
 use crate::args::{ArgError, Args};
 use crate::batch;
@@ -14,6 +15,19 @@ const SCENARIO_KEYS: &[&str] = &[
     "runs", "blocks", "disks", "strategy", "n", "cache", "sync", "cpu-ms", "admission", "choice",
     "cap", "layout", "write-disks", "write-buffer", "trials", "seed",
 ];
+
+/// Default cache capacity for a scenario: `k·N` frames for demand-side
+/// strategies, `4·k·N` (the paper's inter-run sizing) otherwise — where
+/// `N` is uniformly [`PrefetchStrategy::depth`], so the adaptive variant
+/// sizes on its floor `n_min` rather than the `--n` ceiling.
+fn default_cache_blocks(runs: u32, strategy: PrefetchStrategy) -> u32 {
+    let per_run = runs * strategy.depth();
+    if strategy.is_inter_run() {
+        4 * per_run
+    } else {
+        per_run
+    }
+}
 
 /// Builds a [`MergeConfig`] from scenario options.
 fn scenario(args: &Args) -> Result<(MergeConfig, u32), ArgError> {
@@ -29,12 +43,7 @@ fn scenario(args: &Args) -> Result<(MergeConfig, u32), ArgError> {
         "adaptive" => PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: n },
         other => return Err(ArgError(format!("unknown strategy '{other}'"))),
     };
-    let default_cache = if strategy.is_inter_run() {
-        4 * runs * n
-    } else {
-        runs * strategy.depth()
-    };
-    let cache: u32 = args.get_parsed("cache", default_cache)?;
+    let cache: u32 = args.get_parsed("cache", default_cache_blocks(runs, strategy))?;
     let cpu_ms: f64 = args.get_parsed("cpu-ms", 0.0)?;
     if !(cpu_ms.is_finite() && cpu_ms >= 0.0) {
         return Err(ArgError("--cpu-ms must be >= 0".into()));
@@ -134,6 +143,98 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `pmerge trace`
+pub fn trace(args: &Args) -> Result<(), ArgError> {
+    let mut allowed = SCENARIO_KEYS.to_vec();
+    allowed.extend_from_slice(&["trace-out", "trace-format", "trace-limit"]);
+    args.check_known(&allowed)?;
+    let (cfg, trials) = scenario(args)?;
+    let format = args.get("trace-format").unwrap_or("chrome");
+    let limit: usize = args.get_parsed("trace-limit", 0usize)?;
+    let (summary, sink) =
+        run_trials_traced(&cfg, trials, 1, (limit > 0).then_some(limit))
+            .map_err(|e| ArgError(e.to_string()))?;
+    let events = sink.events();
+    let rendered = match format {
+        "chrome" => export::chrome_trace_json(&events),
+        "csv" => export::csv(&events),
+        "gantt" => export::gantt(&events, &export::GanttOptions::default()),
+        other => {
+            return Err(ArgError(format!(
+                "unknown trace format '{other}' (chrome | csv | gantt)"
+            )))
+        }
+    };
+    let Some(path) = args.get("trace-out") else {
+        // Bare stream to stdout so it can be piped or redirected.
+        print!("{rendered}");
+        return Ok(());
+    };
+    std::fs::write(path, &rendered)
+        .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+
+    let m = TraceMetrics::from_events(&events);
+    println!(
+        "traced trial 1 of {trials}: {} events recorded{} -> {path} ({format})",
+        events.len(),
+        if sink.dropped() > 0 {
+            format!(" ({} dropped by --trace-limit {limit})", sink.dropped())
+        } else {
+            String::new()
+        },
+    );
+    println!(
+        "span {:.3} s, total time {} over all trials\n",
+        m.span_end.as_secs_f64(),
+        summary.ci_total_secs
+    );
+    let mut t = Table::new(vec![
+        "disk".into(),
+        "util".into(),
+        "requests".into(),
+        "sequential".into(),
+        "avg queue".into(),
+    ]);
+    for i in 1..5 {
+        t.set_align(i, Align::Right);
+    }
+    let span_ns = m.span_end.as_nanos() as f64;
+    let lane_row = |t: &mut Table, name: String, lane: &pm_trace::DiskLaneMetrics| {
+        t.add_row(vec![
+            name,
+            format!("{:.2}", lane.utilization(m.span_end)),
+            lane.requests.to_string(),
+            lane.sequential.to_string(),
+            format!("{:.2}", lane.queue_depth.average_until(span_ns).unwrap_or(0.0)),
+        ]);
+    };
+    for (d, lane) in m.input_disks.iter().enumerate() {
+        lane_row(&mut t, format!("input {d}"), lane);
+    }
+    for (d, lane) in m.output_disks.iter().enumerate() {
+        lane_row(&mut t, format!("output {d}"), lane);
+    }
+    println!("{}", t.render());
+    println!(
+        "demand misses     {} ({} per merged block)",
+        m.demand_misses,
+        m.miss_rate().map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+    );
+    if m.prefetch_batches > 0 {
+        println!(
+            "prefetch batches  {}, group admit rate {}, {} blocks admitted / {} rejected",
+            m.prefetch_batches,
+            m.admit_rate().map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+            m.admitted_blocks,
+            m.rejected_blocks,
+        );
+    }
+    if let Some(lo) = m.min_free_at_miss {
+        println!("cache low-water   {lo} free frames at the tightest demand miss");
+    }
+    Ok(())
+}
+
 /// `pmerge analyze`
 pub fn analyze(args: &Args) -> Result<(), ArgError> {
     args.check_known(&["runs", "disks", "n", "blocks"])?;
@@ -212,11 +313,7 @@ pub fn sweep(args: &Args) -> Result<(), ArgError> {
                 };
                 // Re-derive the default cache unless pinned explicitly.
                 if args.get("cache").is_none() {
-                    cfg.cache_blocks = if cfg.strategy.is_inter_run() {
-                        4 * cfg.runs * n
-                    } else {
-                        cfg.runs * n
-                    };
+                    cfg.cache_blocks = default_cache_blocks(cfg.runs, cfg.strategy);
                 }
             }
             "cache" => cfg.cache_blocks = x as u32,
@@ -354,6 +451,70 @@ mod tests {
         assert!(scenario(&args(&["simulate", "--choice", "x"])).is_err());
         // Invalid merged config (cache below initial load).
         assert!(scenario(&args(&["simulate", "--cache", "1"])).is_err());
+    }
+
+    #[test]
+    fn default_cache_is_depth_based_for_every_strategy() {
+        // k * depth for demand-side strategies, 4 * k * depth for
+        // inter-run ones — the adaptive variant sizes on its floor
+        // n_min = 1, NOT the --n ceiling.
+        let cases = [
+            ("none", 25),          // 25 * 1
+            ("intra", 25 * 10),    // 25 * n
+            ("inter", 4 * 25 * 10),// 4 * 25 * n
+            ("adaptive", 4 * 25),  // 4 * 25 * n_min
+        ];
+        for (strategy, expected) in cases {
+            let (cfg, _) = scenario(&args(&["simulate", "--strategy", strategy])).unwrap();
+            assert_eq!(cfg.cache_blocks, expected, "strategy {strategy}");
+        }
+        // An explicit --cache always wins.
+        let (cfg, _) =
+            scenario(&args(&["simulate", "--strategy", "adaptive", "--cache", "500"])).unwrap();
+        assert_eq!(cfg.cache_blocks, 500);
+    }
+
+    #[test]
+    fn trace_writes_every_format() {
+        let dir = std::env::temp_dir();
+        let scenario_args = [
+            "trace", "--runs", "4", "--blocks", "20", "--disks", "2",
+            "--n", "2", "--trials", "2",
+        ];
+        for (format, probe) in [
+            ("chrome", "\"traceEvents\""),
+            ("csv", "at_ns,event"),
+            ("gantt", "disk 0"),
+        ] {
+            let path = dir.join(format!("pmerge-trace-test.{format}"));
+            let mut a: Vec<&str> = scenario_args.to_vec();
+            let p = path.to_str().unwrap().to_string();
+            a.extend_from_slice(&["--trace-format", format, "--trace-out", &p]);
+            trace(&args(&a)).unwrap();
+            let contents = std::fs::read_to_string(&path).unwrap();
+            assert!(contents.contains(probe), "{format}: {contents:.80}");
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn trace_limit_and_bad_format() {
+        let path = std::env::temp_dir().join("pmerge-trace-limit.csv");
+        let p = path.to_str().unwrap().to_string();
+        trace(&args(&[
+            "trace", "--runs", "4", "--blocks", "20", "--disks", "2", "--n", "2",
+            "--trials", "1", "--trace-limit", "10", "--trace-format", "csv",
+            "--trace-out", &p,
+        ]))
+        .unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        // Header plus exactly the 10 retained events.
+        assert_eq!(contents.lines().count(), 11);
+        let _ = std::fs::remove_file(path);
+
+        let err = trace(&args(&["trace", "--trace-format", "bogus"])).unwrap_err();
+        assert!(err.0.contains("unknown trace format"));
+        assert!(trace(&args(&["trace", "--trace-outt", "x"])).is_err());
     }
 
     #[test]

@@ -26,6 +26,8 @@ COMMANDS:
     sweep      Sweep one parameter and print the measured curve
     batch      Run every scenario in a file (--file <path>); lines are
                'name: key=value ...' with the simulate options
+    trace      Run a scenario with trial 1 traced and export the event
+               stream (Chrome trace JSON, CSV, or ASCII Gantt)
 
 SCENARIO OPTIONS (simulate, sweep):
     --runs <k>          number of sorted runs            [default: 25]
@@ -45,6 +47,12 @@ SCENARIO OPTIONS (simulate, sweep):
     --write-buffer <b>  output buffer blocks             [default: 64]
     --trials <t>        independent trials               [default: 5]
     --seed <s>          master seed                      [default: 1992]
+
+TRACE OPTIONS (plus the scenario options above):
+    --trace-out <path>  write the export here; omitting it streams the
+                        export to stdout and suppresses the summary
+    --trace-format <f>  chrome | csv | gantt             [default: chrome]
+    --trace-limit <e>   keep only the last <e> events (ring buffer; 0 = all)
 
 SWEEP OPTIONS:
     --param <p>         n | cache | cpu-ms | disks
@@ -68,6 +76,7 @@ fn main() {
         Some("analyze") => commands::analyze(&args),
         Some("sweep") => commands::sweep(&args),
         Some("batch") => commands::run_batch(&args),
+        Some("trace") => commands::trace(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

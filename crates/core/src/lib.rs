@@ -55,7 +55,7 @@ pub use depletion::{DepletionModel, SkewedDepletion, TraceDepletion, UniformDepl
 pub use layout::{RunLayout, RunPlacement};
 pub use metrics::MergeReport;
 pub use prefetch::PrefetchChoice;
-pub use runner::{run_trials, run_trials_parallel, TrialSummary};
+pub use runner::{run_trials, run_trials_parallel, run_trials_traced, TrialSummary};
 pub use sim::MergeSim;
 pub use strategy::{PrefetchStrategy, SyncMode};
 pub use timeline::{ServiceInterval, StallInterval, Timeline};
@@ -65,3 +65,4 @@ pub use write::WriteSpec;
 pub use pm_cache::{AdmissionPolicy, RunId};
 pub use pm_disk::{DiskId, DiskSpec, QueueDiscipline};
 pub use pm_sim::{SimDuration, SimTime};
+pub use pm_trace::{EventKind, NullSink, RecordingSink, TraceEvent, TraceSink};

@@ -9,6 +9,7 @@
 //! `parallel_determinism` integration suite enforces.
 
 use pm_stats::{ConfidenceInterval, OnlineStats};
+use pm_trace::RecordingSink;
 
 use crate::{parallel, ConfigError, MergeConfig, MergeReport, MergeSim, UniformDepletion};
 
@@ -108,6 +109,61 @@ pub fn run_trials_parallel(
             .run(&mut UniformDepletion)
     });
     Ok(TrialSummary::from_reports(reports))
+}
+
+/// [`run_trials_parallel`] with the **first trial traced**: trial 0 runs
+/// with a [`RecordingSink`] (ring-buffered to `limit` events when given,
+/// unbounded otherwise) and the recorded trace is returned alongside the
+/// summary. All other trials run untraced.
+///
+/// Tracing is observational only, so the summary is bit-identical to
+/// [`run_trials_parallel`]'s — and because every trial's seed is
+/// pre-derived from `cfg.seed`, the recorded trace itself is bit-identical
+/// for every `jobs` value.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if `cfg` is invalid.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn run_trials_traced(
+    cfg: &MergeConfig,
+    trials: u32,
+    jobs: usize,
+    limit: Option<usize>,
+) -> Result<(TrialSummary, RecordingSink), ConfigError> {
+    assert!(trials > 0, "need at least one trial");
+    cfg.validate()?;
+    let seeds = pm_sim::derive_seeds(cfg.seed, trials as usize);
+    let base = *cfg;
+    let outcomes = parallel::run_ordered(trials as usize, jobs, |i| {
+        let mut trial_cfg = base;
+        trial_cfg.seed = seeds[i];
+        let sim = MergeSim::new(trial_cfg)
+            .expect("seed change cannot invalidate a validated config");
+        if i == 0 {
+            let recorder = match limit {
+                Some(cap) => RecordingSink::with_capacity(cap),
+                None => RecordingSink::unbounded(),
+            };
+            let (report, sink) = sim.replace_sink(recorder).run_with_sink(&mut UniformDepletion);
+            (report, Some(sink))
+        } else {
+            (sim.run(&mut UniformDepletion), None)
+        }
+    });
+    let mut reports = Vec::with_capacity(outcomes.len());
+    let mut trace = None;
+    for (report, sink) in outcomes {
+        reports.push(report);
+        if let Some(s) = sink {
+            trace = Some(s);
+        }
+    }
+    let trace = trace.expect("trial 0 always records");
+    Ok((TrialSummary::from_reports(reports), trace))
 }
 
 impl TrialSummary {
@@ -236,5 +292,42 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_panics() {
         let _ = run_trials(&cfg(), 0);
+    }
+
+    #[test]
+    fn traced_trials_match_untraced_and_record_trial_zero() {
+        let plain = run_trials(&cfg(), 3).unwrap();
+        let (traced, sink) = run_trials_traced(&cfg(), 3, 1, None).unwrap();
+        assert_eq!(plain.reports, traced.reports);
+        assert_eq!(sink.dropped(), 0);
+        assert!(sink.total_emitted() > 0);
+        // The trace is trial 0's: reconstructing its timeline accounts for
+        // exactly trial 0's block count.
+        let consumed = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, pm_trace::EventKind::CpuConsume { .. }))
+            .count() as u64;
+        assert_eq!(consumed, plain.reports[0].blocks_merged);
+    }
+
+    #[test]
+    fn traced_trace_is_identical_across_jobs() {
+        let (_, seq) = run_trials_traced(&cfg(), 4, 1, None).unwrap();
+        for jobs in [2, 4, 0] {
+            let (_, par) = run_trials_traced(&cfg(), 4, jobs, None).unwrap();
+            assert_eq!(seq.events(), par.events(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn traced_limit_caps_the_ring() {
+        let (_, sink) = run_trials_traced(&cfg(), 1, 1, Some(16)).unwrap();
+        assert_eq!(sink.events().len(), 16);
+        assert!(sink.dropped() > 0);
+        assert_eq!(
+            sink.total_emitted(),
+            sink.dropped() + sink.events().len() as u64
+        );
     }
 }

@@ -3,8 +3,9 @@
 use pm_cache::{BlockCache, PrefetchGroup, RunId};
 use pm_disk::{DiskArray, DiskId, DiskRequest};
 use pm_sim::{Executive, SimDuration, SimRng, SimTime};
+use pm_trace::{EventKind, NullSink, OutputSide, RecordingSink, TraceEvent, TraceSink};
 
-use crate::timeline::{ServiceInterval, StallInterval, Timeline};
+use crate::timeline::Timeline;
 use crate::write::Writer;
 use crate::{
     ConfigError, DepletionModel, MergeConfig, MergeReport, RunLayout, SyncMode, UniformDepletion,
@@ -87,7 +88,15 @@ impl BusyTracker {
 /// depletion model (or [`MergeSim::run_uniform`] for the paper's random
 /// model). The simulation consumes the instance and returns a
 /// [`MergeReport`].
-pub struct MergeSim {
+///
+/// The instance is generic over a [`TraceSink`] `S` observing every I/O
+/// and cache decision (see [`pm_trace`]). The default [`NullSink`] has
+/// `ENABLED == false`, so every emission site compiles away and the
+/// simulation is exactly the untraced hot path; swap in a recording sink
+/// with [`MergeSim::replace_sink`] and run with
+/// [`MergeSim::run_with_sink`] to capture the event stream. Sinks are
+/// observe-only, so a traced run is bit-identical to an untraced one.
+pub struct MergeSim<S: TraceSink = NullSink> {
     cfg: MergeConfig,
     exec: Executive<Event>,
     disks: DiskArray,
@@ -127,17 +136,18 @@ pub struct MergeSim {
     full_prefetch_ops: u64,
     cpu_stall: SimDuration,
     finished_at: Option<SimTime>,
-    timeline: Option<Timeline>,
+    sink: S,
 }
 
 const DEAD: usize = usize::MAX;
 
 fn tag_of(run: RunId, index: u32) -> u64 {
-    (u64::from(run.0) << 32) | u64::from(index)
+    pm_trace::pack_tag(run.0, index)
 }
 
 fn untag(tag: u64) -> (RunId, u32) {
-    (RunId((tag >> 32) as u32), tag as u32)
+    let (run, index) = pm_trace::unpack_tag(tag);
+    (RunId(run), index)
 }
 
 impl MergeSim {
@@ -259,7 +269,7 @@ impl MergeSim {
             full_prefetch_ops: 0,
             cpu_stall: SimDuration::ZERO,
             finished_at: None,
-            timeline: None,
+            sink: NullSink,
         }
     }
 
@@ -271,6 +281,64 @@ impl MergeSim {
     /// Returns a [`ConfigError`] if `cfg` is invalid.
     pub fn run_uniform(cfg: MergeConfig) -> Result<MergeReport, ConfigError> {
         Ok(Self::new(cfg)?.run(&mut UniformDepletion))
+    }
+
+    /// Like [`MergeSim::run`], additionally recording the full execution
+    /// [`Timeline`] (every disk-service interval and CPU stall).
+    ///
+    /// This is a thin shim over the tracing subsystem: the run records
+    /// into an unbounded [`RecordingSink`] and the timeline is rebuilt
+    /// from the event stream by [`Timeline::from_trace`].
+    ///
+    /// # Panics
+    ///
+    /// As [`MergeSim::run`].
+    pub fn run_traced<M: DepletionModel + ?Sized>(self, model: &mut M) -> (MergeReport, Timeline) {
+        let cpu_per_block = self.cfg.cpu_per_block;
+        let (report, sink) = self
+            .replace_sink(RecordingSink::unbounded())
+            .run_with_sink(model);
+        let timeline = Timeline::from_trace(&sink.into_events(), cpu_per_block);
+        (report, timeline)
+    }
+}
+
+impl<S: TraceSink> MergeSim<S> {
+    /// Swaps the trace sink, preserving all simulation state (including
+    /// state [`MergeSim::with_run_lengths`] set up). Must be called before
+    /// the run starts.
+    pub fn replace_sink<T: TraceSink>(self, sink: T) -> MergeSim<T> {
+        MergeSim {
+            cfg: self.cfg,
+            exec: self.exec,
+            disks: self.disks,
+            cache: self.cache,
+            layout: self.layout,
+            rng: self.rng,
+            runs: self.runs,
+            live: self.live,
+            live_pos: self.live_pos,
+            fetchable: self.fetchable,
+            fetchable_pos: self.fetchable_pos,
+            gate: self.gate,
+            cpu_free_at: self.cpu_free_at,
+            cpu_scheduled: self.cpu_scheduled,
+            current_depth: self.current_depth,
+            scratch_groups: self.scratch_groups,
+            scratch_admitted: self.scratch_admitted,
+            scratch_candidates: self.scratch_candidates,
+            writer: self.writer,
+            cpu_done: self.cpu_done,
+            busy: self.busy,
+            expected_blocks: self.expected_blocks,
+            blocks_merged: self.blocks_merged,
+            demand_ops: self.demand_ops,
+            fallback_ops: self.fallback_ops,
+            full_prefetch_ops: self.full_prefetch_ops,
+            cpu_stall: self.cpu_stall,
+            finished_at: self.finished_at,
+            sink,
+        }
     }
 
     /// Runs the simulation to completion with the given depletion model.
@@ -285,22 +353,21 @@ impl MergeSim {
     ///
     /// Panics if the depletion model misbehaves (returns dead runs or
     /// exhausts a trace early) or an internal invariant is violated.
-    pub fn run<M: DepletionModel + ?Sized>(mut self, model: &mut M) -> MergeReport {
-        self.run_loop(model);
-        self.build_report()
+    pub fn run<M: DepletionModel + ?Sized>(self, model: &mut M) -> MergeReport {
+        self.run_with_sink(model).0
     }
 
-    /// Like [`MergeSim::run`], additionally recording the full execution
-    /// [`Timeline`] (every disk-service interval and CPU stall).
+    /// [`MergeSim::run`], additionally returning the sink with whatever it
+    /// recorded. Tracing is observational only, so the report is
+    /// bit-identical to [`MergeSim::run`]'s for the same configuration
+    /// regardless of the sink.
     ///
     /// # Panics
     ///
     /// As [`MergeSim::run`].
-    pub fn run_traced<M: DepletionModel + ?Sized>(mut self, model: &mut M) -> (MergeReport, Timeline) {
-        self.timeline = Some(Timeline::default());
+    pub fn run_with_sink<M: DepletionModel + ?Sized>(mut self, model: &mut M) -> (MergeReport, S) {
         self.run_loop(model);
-        let timeline = self.timeline.take().expect("enabled above");
-        (self.build_report(), timeline)
+        self.build_report()
     }
 
     fn run_loop<M: DepletionModel + ?Sized>(&mut self, model: &mut M) {
@@ -348,22 +415,12 @@ impl MergeSim {
 
     fn on_disk_done(&mut self, disk: DiskId) {
         let now = self.exec.now();
-        let (done, next) = self.disks.complete(now, disk);
+        let (done, next) = self.disks.complete_traced(now, disk, &mut self.sink);
         if let Some(s) = next {
             self.exec.schedule_at(s.completion_at, Event::DiskDone(disk));
         }
         self.busy.update(now, self.disks.busy_count() as u32);
-        let (run, index) = untag(done.request.tag);
-        if let Some(tl) = &mut self.timeline {
-            tl.services.push(ServiceInterval {
-                disk,
-                run: Some(run),
-                block: index,
-                start: done.started,
-                end: done.completed,
-                sequential: done.sequential,
-            });
-        }
+        let (run, _index) = untag(done.request.tag);
         self.cache.block_arrived(run);
         self.advance_gate(now, run);
     }
@@ -405,13 +462,9 @@ impl MergeSim {
     fn wake_cpu(&mut self, now: SimTime) {
         self.gate = None;
         if now > self.cpu_free_at {
+            // No trace event: stalls are reconstructed exactly from the
+            // gaps between `CpuConsume` stamps (see Timeline::from_trace).
             self.cpu_stall += now - self.cpu_free_at;
-            if let Some(tl) = &mut self.timeline {
-                tl.stalls.push(StallInterval {
-                    start: self.cpu_free_at,
-                    end: now,
-                });
-            }
         }
         if !self.cpu_scheduled {
             let at = now.max(self.cpu_free_at);
@@ -426,17 +479,7 @@ impl MergeSim {
     fn on_write_done(&mut self, disk: DiskId) {
         let now = self.exec.now();
         let writer = self.writer.as_mut().expect("write event without writer");
-        let (done, next) = writer.complete(now, disk);
-        if let Some(tl) = &mut self.timeline {
-            tl.services.push(ServiceInterval {
-                disk,
-                run: None,
-                block: done.request.tag as u32,
-                start: done.started,
-                end: done.completed,
-                sequential: done.sequential,
-            });
-        }
+        let (_, next) = writer.complete_traced(now, disk, &mut OutputSide(&mut self.sink));
         if let Some(s) = next {
             self.exec.schedule_at(s.completion_at, Event::WriteDone(disk));
         }
@@ -490,9 +533,20 @@ impl MergeSim {
             self.cache.resident(j) > 0,
             "depletion invariant violated: run {j:?} has no resident block"
         );
-        self.cache.deplete(j);
+        if S::ENABLED {
+            self.sink.emit(TraceEvent {
+                at: now,
+                kind: EventKind::CpuConsume {
+                    run: j.0,
+                    block: self.runs[j.0 as usize].depleted,
+                },
+            });
+        }
+        self.cache.deplete_traced(j, now, &mut self.sink);
         if let Some(writer) = &mut self.writer {
-            if let Some((disk, s)) = writer.produce_block(now) {
+            if let Some((disk, s)) =
+                writer.produce_block_traced(now, &mut OutputSide(&mut self.sink))
+            {
                 self.exec.schedule_at(s.completion_at, Event::WriteDone(disk));
             }
         }
@@ -502,6 +556,12 @@ impl MergeSim {
         let depleted = progress.depleted;
         let total = progress.total;
         if depleted == total {
+            if S::ENABLED {
+                self.sink.emit(TraceEvent {
+                    at: now,
+                    kind: EventKind::RunExhausted { run: j.0 },
+                });
+            }
             self.remove_live(j);
             return;
         }
@@ -522,15 +582,22 @@ impl MergeSim {
     /// strategy and sets the CPU gate.
     fn issue_demand(&mut self, now: SimTime, j: RunId) {
         self.demand_ops += 1;
-        if let Some(tl) = &mut self.timeline {
-            tl.cache_free.push((now, self.cache.free()));
-        }
         let depth = self.current_depth;
         let progress = self.runs[j.0 as usize];
         let demand_blocks = depth.min(progress.total - progress.next_fetch);
         debug_assert!(demand_blocks >= 1);
         let demand_index = progress.next_fetch;
         debug_assert_eq!(demand_index, progress.depleted);
+        if S::ENABLED {
+            self.sink.emit(TraceEvent {
+                at: now,
+                kind: EventKind::DemandMiss {
+                    run: j.0,
+                    block: demand_index,
+                    free: self.cache.free(),
+                },
+            });
+        }
 
         let issued_total = if self.cfg.strategy.is_inter_run() {
             self.issue_inter_run(now, j, demand_blocks)
@@ -615,6 +682,16 @@ impl MergeSim {
             debug_assert!(blocks >= 1);
             groups.push(PrefetchGroup { run, blocks });
         }
+        if S::ENABLED {
+            self.sink.emit(TraceEvent {
+                at: now,
+                kind: EventKind::PrefetchBatch {
+                    groups: groups.len() as u32,
+                    blocks: groups.iter().map(|g| g.blocks).sum(),
+                    depth,
+                },
+            });
+        }
 
         if self.cfg.admission == pm_cache::AdmissionPolicy::Greedy && groups.len() > 2 {
             // The greedy alternative admits a prefix of the group list;
@@ -622,10 +699,13 @@ impl MergeSim {
             // random, so shuffle the non-demand groups.
             self.rng.shuffle(&mut groups[1..]);
         }
-        let full = self
-            .cfg
-            .admission
-            .admit_into(&mut self.cache, &groups, &mut admitted);
+        let full = self.cfg.admission.admit_into_traced(
+            &mut self.cache,
+            &groups,
+            &mut admitted,
+            now,
+            &mut self.sink,
+        );
         if full {
             self.full_prefetch_ops += 1;
         }
@@ -679,7 +759,7 @@ impl MergeSim {
                 sequential_hint: i >= stride,
                 tag: tag_of(run, index),
             };
-            let (_, started) = self.disks.submit(now, req);
+            let (_, started) = self.disks.submit_traced(now, req, &mut self.sink);
             if let Some(s) = started {
                 self.exec.schedule_at(s.completion_at, Event::DiskDone(disk));
             }
@@ -716,7 +796,7 @@ impl MergeSim {
         self.fetchable_pos[run.0 as usize] = DEAD;
     }
 
-    fn build_report(mut self) -> MergeReport {
+    fn build_report(mut self) -> (MergeReport, S) {
         let finished = self
             .finished_at
             .expect("simulation ended without completing the merge");
@@ -741,7 +821,7 @@ impl MergeSim {
         } else {
             self.busy.integral as f64 / self.busy.active_ns as f64
         };
-        MergeReport {
+        let report = MergeReport {
             total,
             blocks_merged: self.blocks_merged,
             demand_ops: self.demand_ops,
@@ -768,7 +848,8 @@ impl MergeSim {
                 .writer
                 .as_ref()
                 .map_or(SimDuration::ZERO, Writer::busy_total),
-        }
+        };
+        (report, self.sink)
     }
 }
 

@@ -9,7 +9,8 @@
 
 use pm_cache::RunId;
 use pm_disk::DiskId;
-use pm_sim::SimTime;
+use pm_sim::{SimDuration, SimTime};
+use pm_trace::{EventKind, TraceEvent};
 
 /// One disk-service interval.
 ///
@@ -56,6 +57,59 @@ pub struct Timeline {
 }
 
 impl Timeline {
+    /// Reconstructs the timeline from a recorded event trace.
+    ///
+    /// Service intervals come from [`EventKind::DiskTransferDone`] events
+    /// (which carry their service start), cache samples from
+    /// [`EventKind::DemandMiss`], and CPU stalls from the gaps between
+    /// [`EventKind::CpuConsume`] events: the CPU frees `cpu_per_block`
+    /// after each consume (starting free at time zero), so a consume later
+    /// than that moment means the merge sat stalled in between.
+    #[must_use]
+    pub fn from_trace(events: &[TraceEvent], cpu_per_block: SimDuration) -> Self {
+        let mut tl = Timeline::default();
+        let mut cpu_free = SimTime::ZERO;
+        for ev in events {
+            match ev.kind {
+                EventKind::DiskTransferDone {
+                    disk,
+                    output,
+                    tag,
+                    started,
+                    sequential,
+                    ..
+                } => {
+                    let (run, block) = if output {
+                        (None, tag as u32)
+                    } else {
+                        let (r, b) = pm_trace::unpack_tag(tag);
+                        (Some(RunId(r)), b)
+                    };
+                    tl.services.push(ServiceInterval {
+                        disk: DiskId(disk),
+                        run,
+                        block,
+                        start: started,
+                        end: ev.at,
+                        sequential,
+                    });
+                }
+                EventKind::CpuConsume { .. } => {
+                    if ev.at > cpu_free {
+                        tl.stalls.push(StallInterval {
+                            start: cpu_free,
+                            end: ev.at,
+                        });
+                    }
+                    cpu_free = ev.at + cpu_per_block;
+                }
+                EventKind::DemandMiss { free, .. } => tl.cache_free.push((ev.at, free)),
+                _ => {}
+            }
+        }
+        tl
+    }
+
     /// Total simulated span covered (end of the last service/stall).
     #[must_use]
     pub fn span_end(&self) -> SimTime {
@@ -152,6 +206,116 @@ mod tests {
         let d1 = tl.disk_services(DiskId(1));
         assert_eq!(d1.len(), 2);
         assert!(d1[0].start <= d1[1].start);
+    }
+
+    #[test]
+    fn from_trace_rebuilds_services_stalls_and_cache_samples() {
+        let cpu = SimDuration::from_nanos(5);
+        let events = [
+            TraceEvent {
+                at: t(10),
+                kind: EventKind::DiskTransferDone {
+                    disk: 1,
+                    output: false,
+                    tag: pm_trace::pack_tag(2, 7),
+                    span: 0,
+                    started: t(3),
+                    sequential: true,
+                },
+            },
+            // First consume later than the (free-at-zero) CPU: startup stall.
+            TraceEvent {
+                at: t(10),
+                kind: EventKind::CpuConsume { run: 2, block: 0 },
+            },
+            // Back-to-back consume exactly at cpu_free: no stall.
+            TraceEvent {
+                at: t(15),
+                kind: EventKind::CpuConsume { run: 2, block: 1 },
+            },
+            TraceEvent {
+                at: t(16),
+                kind: EventKind::DemandMiss {
+                    run: 2,
+                    block: 2,
+                    free: 4,
+                },
+            },
+            // Output-side service: run is None, block is the raw tag.
+            TraceEvent {
+                at: t(30),
+                kind: EventKind::DiskTransferDone {
+                    disk: 0,
+                    output: true,
+                    tag: 9,
+                    span: 1,
+                    started: t(22),
+                    sequential: false,
+                },
+            },
+            // Consume after a gap: a stall from cpu_free (20) to 26.
+            TraceEvent {
+                at: t(26),
+                kind: EventKind::CpuConsume { run: 2, block: 2 },
+            },
+        ];
+        let tl = Timeline::from_trace(&events, cpu);
+        assert_eq!(
+            tl.services,
+            vec![
+                ServiceInterval {
+                    disk: DiskId(1),
+                    run: Some(RunId(2)),
+                    block: 7,
+                    start: t(3),
+                    end: t(10),
+                    sequential: true,
+                },
+                ServiceInterval {
+                    disk: DiskId(0),
+                    run: None,
+                    block: 9,
+                    start: t(22),
+                    end: t(30),
+                    sequential: false,
+                },
+            ]
+        );
+        assert_eq!(
+            tl.stalls,
+            vec![
+                StallInterval {
+                    start: t(0),
+                    end: t(10)
+                },
+                StallInterval {
+                    start: t(20),
+                    end: t(26)
+                },
+            ]
+        );
+        assert_eq!(tl.cache_free, vec![(t(16), 4)]);
+    }
+
+    #[test]
+    fn from_trace_ignores_unrelated_events() {
+        let events = [
+            TraceEvent {
+                at: t(1),
+                kind: EventKind::DiskIssue {
+                    disk: 0,
+                    output: false,
+                    tag: 0,
+                    span: 0,
+                },
+            },
+            TraceEvent {
+                at: t(2),
+                kind: EventKind::CacheAdmit { run: 0, blocks: 3 },
+            },
+        ];
+        let tl = Timeline::from_trace(&events, SimDuration::ZERO);
+        assert_eq!(tl, Timeline::default());
     }
 
     #[test]

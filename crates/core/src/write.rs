@@ -16,6 +16,7 @@
 
 use pm_disk::{BlockAddr, CompletedRequest, DiskArray, DiskId, DiskRequest, DiskSpec, StartedService};
 use pm_sim::{SimDuration, SimTime};
+use pm_trace::TraceSink;
 
 /// Configuration of the output subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +85,19 @@ impl Writer {
     ///
     /// Panics if the buffer is full (the caller must gate on
     /// [`Writer::has_space`]) or the write disk is out of capacity.
+    #[cfg(test)]
     pub(crate) fn produce_block(&mut self, now: SimTime) -> Option<(DiskId, StartedService)> {
+        self.produce_block_traced(now, &mut pm_trace::NullSink)
+    }
+
+    /// [`Writer::produce_block`] with tracing. The caller wraps its sink
+    /// in [`pm_trace::OutputSide`] so the emitted disk events are stamped
+    /// as the output array's.
+    pub(crate) fn produce_block_traced<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        sink: &mut S,
+    ) -> Option<(DiskId, StartedService)> {
         assert!(self.has_space(), "write buffer overflow");
         self.occupied += 1;
         let disk = DiskId(self.next_disk);
@@ -99,18 +112,29 @@ impl Writer {
             sequential_hint: offset > 0,
             tag: offset,
         };
-        let (_, started) = self.array.submit(now, req);
+        let (_, started) = self.array.submit_traced(now, req, sink);
         started.map(|s| (disk, s))
     }
 
     /// Completes the in-service write on `disk`, freeing its buffer slot.
     /// Returns the next write started on that disk, if any.
+    #[cfg(test)]
     pub(crate) fn complete(
         &mut self,
         now: SimTime,
         disk: DiskId,
     ) -> (CompletedRequest, Option<StartedService>) {
-        let (done, next) = self.array.complete(now, disk);
+        self.complete_traced(now, disk, &mut pm_trace::NullSink)
+    }
+
+    /// [`Writer::produce_block_traced`]'s counterpart for completions.
+    pub(crate) fn complete_traced<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        disk: DiskId,
+        sink: &mut S,
+    ) -> (CompletedRequest, Option<StartedService>) {
+        let (done, next) = self.array.complete_traced(now, disk, sink);
         debug_assert!(self.occupied > 0);
         self.occupied -= 1;
         self.blocks_written += 1;

@@ -1,6 +1,7 @@
 //! A set of independently operating disks.
 
 use pm_sim::SimTime;
+use pm_trace::{NullSink, TraceSink};
 
 use crate::{
     CompletedRequest, Disk, DiskId, DiskRequest, DiskSpec, DiskStats, QueueDiscipline, RequestId,
@@ -68,7 +69,17 @@ impl DiskArray {
 
     /// Routes a request to its addressed drive.
     pub fn submit(&mut self, now: SimTime, req: DiskRequest) -> (RequestId, Option<StartedService>) {
-        let (id, started) = self.disks[req.disk.0 as usize].submit(now, req);
+        self.submit_traced(now, req, &mut NullSink)
+    }
+
+    /// [`DiskArray::submit`] with tracing (see [`Disk::submit_traced`]).
+    pub fn submit_traced<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        req: DiskRequest,
+        sink: &mut S,
+    ) -> (RequestId, Option<StartedService>) {
+        let (id, started) = self.disks[req.disk.0 as usize].submit_traced(now, req, sink);
         if started.is_some() {
             // The drive was idle and went straight into service.
             self.busy += 1;
@@ -79,7 +90,17 @@ impl DiskArray {
 
     /// Completes the in-service request on `id`.
     pub fn complete(&mut self, now: SimTime, id: DiskId) -> (CompletedRequest, Option<StartedService>) {
-        let (done, next) = self.disks[id.0 as usize].complete(now);
+        self.complete_traced(now, id, &mut NullSink)
+    }
+
+    /// [`DiskArray::complete`] with tracing (see [`Disk::complete_traced`]).
+    pub fn complete_traced<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        id: DiskId,
+        sink: &mut S,
+    ) -> (CompletedRequest, Option<StartedService>) {
+        let (done, next) = self.disks[id.0 as usize].complete_traced(now, sink);
         if next.is_none() {
             // The drive's queue drained; it fell idle.
             self.busy -= 1;

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use pm_sim::{SimDuration, SimRng, SimTime};
+use pm_trace::{EventKind, NullSink, TraceEvent, TraceSink};
 
 use crate::discipline::{QueueDiscipline, SweepDirection};
 use crate::geometry::Cylinder;
@@ -155,6 +156,22 @@ impl Disk {
     /// Panics if the request is empty, targets another disk, or does not
     /// fit on the platter.
     pub fn submit(&mut self, now: SimTime, req: DiskRequest) -> (RequestId, Option<StartedService>) {
+        self.submit_traced(now, req, &mut NullSink)
+    }
+
+    /// [`Disk::submit`] with tracing: additionally emits a
+    /// [`EventKind::DiskIssue`] into `sink`. With a disabled sink this
+    /// monomorphizes to exactly [`Disk::submit`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Disk::submit`].
+    pub fn submit_traced<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        req: DiskRequest,
+        sink: &mut S,
+    ) -> (RequestId, Option<StartedService>) {
         assert_eq!(req.disk, self.id, "request routed to wrong disk");
         assert!(req.len > 0, "empty disk request");
         assert!(
@@ -165,6 +182,17 @@ impl Disk {
         );
         let id = RequestId((u64::from(self.id.0) << 48) | self.next_request_seq);
         self.next_request_seq += 1;
+        if S::ENABLED {
+            sink.emit(TraceEvent {
+                at: now,
+                kind: EventKind::DiskIssue {
+                    disk: self.id.0,
+                    output: false,
+                    tag: req.tag,
+                    span: id.0,
+                },
+            });
+        }
         let queued = Queued {
             id,
             req,
@@ -187,6 +215,22 @@ impl Disk {
     ///
     /// Panics if the disk is idle or `now` is not the completion instant.
     pub fn complete(&mut self, now: SimTime) -> (CompletedRequest, Option<StartedService>) {
+        self.complete_traced(now, &mut NullSink)
+    }
+
+    /// [`Disk::complete`] with tracing: additionally emits
+    /// [`EventKind::DiskSeekDone`] (stamped with the instant positioning
+    /// finished, which for a sequential stream is the service start) and
+    /// [`EventKind::DiskTransferDone`] into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Disk::complete`].
+    pub fn complete_traced<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        sink: &mut S,
+    ) -> (CompletedRequest, Option<StartedService>) {
         let svc = self.in_service.take().expect("complete() on an idle disk");
         assert_eq!(
             svc.completes, now,
@@ -210,6 +254,32 @@ impl Disk {
             breakdown: svc.breakdown,
             sequential: svc.sequential,
         };
+        if S::ENABLED {
+            sink.emit(TraceEvent {
+                // Positioning ended when the transfer began; the delay is
+                // only known at completion, so the event is emitted now but
+                // stamped then.
+                at: svc.started + svc.breakdown.seek + svc.breakdown.latency,
+                kind: EventKind::DiskSeekDone {
+                    disk: self.id.0,
+                    output: false,
+                    tag: svc.req.tag,
+                    span: svc.id.0,
+                    started: svc.started,
+                },
+            });
+            sink.emit(TraceEvent {
+                at: now,
+                kind: EventKind::DiskTransferDone {
+                    disk: self.id.0,
+                    output: false,
+                    tag: svc.req.tag,
+                    span: svc.id.0,
+                    started: svc.started,
+                    sequential: svc.sequential,
+                },
+            });
+        }
         let next = self.start_next(now);
         (done, next)
     }

@@ -1,0 +1,9 @@
+//! Trace exporters: Chrome `chrome://tracing` JSON, CSV, and ASCII Gantt.
+
+mod chrome;
+mod csv;
+mod gantt;
+
+pub use chrome::chrome_trace_json;
+pub use csv::csv;
+pub use gantt::{gantt, GanttOptions};

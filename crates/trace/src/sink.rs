@@ -1,0 +1,248 @@
+//! Where trace events go.
+
+use crate::TraceEvent;
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// Instrumented components are generic over their sink and guard every
+/// emission with `if S::ENABLED`, so a [`NullSink`] caller monomorphizes
+/// to code with no tracing residue at all — no event construction, no
+/// call, no branch. Implementations must treat events as a read-only
+/// observation: a sink that influenced the simulation would break the
+/// guarantee that traced and untraced runs are bit-identical.
+pub trait TraceSink {
+    /// Whether this sink actually records anything. Emission sites skip
+    /// event construction entirely when this is `false`.
+    const ENABLED: bool = true;
+
+    /// Consumes one event.
+    fn emit(&mut self, event: TraceEvent);
+}
+
+/// The do-nothing default sink; tracing compiled out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: TraceEvent) {}
+}
+
+impl<S: TraceSink> TraceSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        (**self).emit(event);
+    }
+}
+
+/// Re-stamps disk events as output-side before forwarding.
+///
+/// The input and output (write) disk arrays use overlapping disk-id
+/// spaces; the write path wraps its sink in this adapter so consumers can
+/// tell the two apart (see [`crate::EventKind::as_output`]).
+#[derive(Debug)]
+pub struct OutputSide<'a, S: TraceSink>(pub &'a mut S);
+
+impl<S: TraceSink> TraceSink for OutputSide<'_, S> {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        self.0.emit(TraceEvent {
+            at: event.at,
+            kind: event.kind.as_output(),
+        });
+    }
+}
+
+/// An in-memory event recorder.
+///
+/// Two shapes:
+///
+/// * [`RecordingSink::unbounded`] keeps every event (the buffer grows);
+/// * [`RecordingSink::with_capacity`] pre-sizes a ring that keeps the most
+///   recent `capacity` events and counts how many older ones it dropped —
+///   after warm-up the recording path performs no heap allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordingSink {
+    buf: Vec<TraceEvent>,
+    /// Ring capacity; `None` means unbounded.
+    limit: Option<usize>,
+    /// Index in `buf` of the oldest retained event (ring mode only).
+    head: usize,
+    /// Events emitted but no longer retained.
+    dropped: u64,
+}
+
+impl RecordingSink {
+    /// A recorder that keeps every event.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        RecordingSink {
+            buf: Vec::new(),
+            limit: None,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A pre-sized ring recorder keeping the most recent `capacity`
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RecordingSink {
+            buf: Vec::with_capacity(capacity),
+            limit: Some(capacity),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events emitted but evicted from the ring.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever emitted into this sink.
+    #[must_use]
+    pub fn total_emitted(&self) -> u64 {
+        self.dropped + self.buf.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut v = Vec::with_capacity(self.buf.len());
+        v.extend_from_slice(&self.buf[self.head..]);
+        v.extend_from_slice(&self.buf[..self.head]);
+        v
+    }
+
+    /// Consumes the sink, returning the retained events oldest first.
+    #[must_use]
+    pub fn into_events(mut self) -> Vec<TraceEvent> {
+        self.buf.rotate_left(self.head);
+        self.buf
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn emit(&mut self, event: TraceEvent) {
+        match self.limit {
+            Some(cap) if self.buf.len() == cap => {
+                self.buf[self.head] = event;
+                self.head = (self.head + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.buf.push(event),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+    use pm_sim::SimTime;
+
+    fn ev(run: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(u64::from(run)),
+            kind: EventKind::RunExhausted { run },
+        }
+    }
+
+    #[test]
+    fn unbounded_keeps_everything_in_order() {
+        let mut s = RecordingSink::unbounded();
+        for i in 0..100 {
+            s.emit(ev(i));
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.dropped(), 0);
+        let events = s.into_events();
+        assert_eq!(events[0], ev(0));
+        assert_eq!(events[99], ev(99));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut s = RecordingSink::with_capacity(4);
+        for i in 0..10 {
+            s.emit(ev(i));
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.total_emitted(), 10);
+        assert_eq!(s.events(), vec![ev(6), ev(7), ev(8), ev(9)]);
+        assert_eq!(s.into_events(), vec![ev(6), ev(7), ev(8), ev(9)]);
+    }
+
+    #[test]
+    fn ring_below_capacity_is_a_plain_buffer() {
+        let mut s = RecordingSink::with_capacity(8);
+        s.emit(ev(1));
+        s.emit(ev(2));
+        assert_eq!(s.events(), vec![ev(1), ev(2)]);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = RecordingSink::with_capacity(0);
+    }
+
+    #[test]
+    fn output_side_rewrites_disk_events() {
+        let mut inner = RecordingSink::unbounded();
+        {
+            let mut wrapped = OutputSide(&mut inner);
+            wrapped.emit(TraceEvent {
+                at: SimTime::ZERO,
+                kind: EventKind::DiskIssue {
+                    disk: 1,
+                    output: false,
+                    tag: 5,
+                    span: 7,
+                },
+            });
+            wrapped.emit(ev(3));
+        }
+        let events = inner.into_events();
+        assert_eq!(events[0].kind.disk(), Some((1, true)));
+        assert_eq!(events[1], ev(3));
+    }
+
+    // Compile-time checks: the enable flag must propagate through the
+    // &mut and OutputSide adapters so guarded emission sites vanish.
+    const _: () = {
+        assert!(!NullSink::ENABLED);
+        assert!(RecordingSink::ENABLED);
+        assert!(<&mut RecordingSink as TraceSink>::ENABLED);
+        assert!(!<&mut NullSink as TraceSink>::ENABLED);
+        assert!(!<OutputSide<'_, NullSink> as TraceSink>::ENABLED);
+    };
+}

@@ -19,4 +19,5 @@ pub use pm_extsort as extsort;
 pub use pm_report as report;
 pub use pm_sim as sim;
 pub use pm_stats as stats;
+pub use pm_trace as trace;
 pub use pm_workload as workload;
