@@ -14,6 +14,7 @@
 //! | Companion report \[16\]: Markov analysis of cache-admission policies | [`markov`] |
 //! | End-to-end sort accounting (formation + merge, Amdahl view) | [`pipeline`] |
 //! | Transfer-time lower bounds `k·B·T` and `k·B·T/D` | [`bounds`] |
+//! | Which closed form covers which scenario shape | [`predict`] |
 //!
 //! All times are in **milliseconds** (`f64`), matching the paper's units;
 //! totals are reported in seconds where noted.
@@ -38,6 +39,7 @@ pub mod bounds;
 pub mod equations;
 pub mod markov;
 pub mod pipeline;
+pub mod predict;
 pub mod seek;
 pub mod urn;
 

@@ -54,7 +54,7 @@ fn main() {
         let cv = stats.sample_stddev() / stats.mean() * 100.0;
         let rel_hw = |n: usize| {
             let ci = ConfidenceInterval::from_samples(&totals[..n.min(totals.len())], 0.95);
-            ci.relative_half_width() * 100.0
+            ci.relative_half_width().unwrap_or(0.0) * 100.0
         };
         table.add_row(vec![
             label.to_string(),

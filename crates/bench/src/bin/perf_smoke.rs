@@ -18,7 +18,8 @@
 //!   `--max-regress` percent.
 //! * `--max-regress <pct>` — regression tolerance (default 30).
 //! * `--check-alloc` — exit non-zero unless the steady-state demand path
-//!   performs zero heap allocations per merged block.
+//!   performs zero heap allocations per merged block — both bare and under
+//!   the full observability pipeline (progress sink + manifest rendering).
 //! * `--check-trace` — exit non-zero unless a run recorded with a
 //!   `RecordingSink` reports bit-identically to the default (`NullSink`)
 //!   build of the same configuration — tracing must be observation-only.
@@ -35,6 +36,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pm_core::{MergeConfig, MergeSim, RecordingSink, SyncMode, UniformDepletion};
+use pm_obs::{
+    render_manifest, run_suite, PointSpec, ProgressSink, RecordKind, SuiteOptions, TrialsMode,
+};
 
 /// A pass-through allocator that counts every allocation, so the harness
 /// can prove the simulator's steady state is allocation-free.
@@ -213,6 +217,66 @@ fn alloc_probe() -> AllocProbe {
     }
 }
 
+/// A progress sink that formats a status string on every event, standing
+/// in for a live renderer. Its cost is per *trial*, never per block, so
+/// it must cancel out of the per-block allocation difference.
+struct FormattingProgress;
+
+impl ProgressSink for FormattingProgress {
+    fn trial_finished(&self) {
+        std::hint::black_box(String::from("[probe] trial finished"));
+    }
+
+    fn point_finished(&self, index: usize, total: usize, label: &str, trials: u32, mean_secs: f64) {
+        std::hint::black_box(format!(
+            "[{}/{total}] {label}: {trials} trials, {mean_secs:.2}s",
+            index + 1
+        ));
+    }
+}
+
+/// Observability-layer allocation probe: the same two-length differencing
+/// as [`alloc_probe`], but the counted region is the full experiment
+/// pipeline — `pm_obs::run_suite` with a formatting progress sink plus
+/// manifest rendering. Per-trial and per-point overhead (progress lines,
+/// residual checks, manifest records) is identical at both lengths and
+/// cancels; only a per-block cost could survive, and there must be none.
+fn obs_alloc_probe() -> AllocProbe {
+    let run_counted = |run_blocks: u32| -> (u64, u64) {
+        let mut cfg = MergeConfig::paper_inter(25, 8, 10, 1200);
+        cfg.run_blocks = run_blocks;
+        let points = vec![PointSpec {
+            kind: RecordKind::T1Case,
+            label: "obs alloc probe".into(),
+            sweep: None,
+            x: None,
+            x_label: None,
+            config: cfg,
+        }];
+        let opts = SuiteOptions {
+            trials: TrialsMode::Fixed(2),
+            ..SuiteOptions::new(7)
+        };
+        let (a0, _) = alloc_snapshot();
+        let records = run_suite(&points, &opts, &FormattingProgress).expect("valid probe config");
+        let manifest = render_manifest(&records);
+        let (a1, _) = alloc_snapshot();
+        std::hint::black_box(manifest.len());
+        (records[0].metrics.blocks_merged, a1 - a0)
+    };
+    let _ = run_counted(100);
+    let (base_blocks, base_allocs) = run_counted(400);
+    let (scaled_blocks, scaled_allocs) = run_counted(1600);
+    let extra_blocks = scaled_blocks - base_blocks;
+    AllocProbe {
+        base_blocks,
+        base_allocs,
+        scaled_blocks,
+        scaled_allocs,
+        per_block_allocs: (scaled_allocs as f64 - base_allocs as f64) / extra_blocks as f64,
+    }
+}
+
 /// Tracing-equivalence probe: the same configuration run with the default
 /// `NullSink` and with a `RecordingSink` must produce bit-identical
 /// reports — the sink only observes, it never participates. Returns
@@ -236,7 +300,7 @@ fn trace_check() -> bool {
     }
 }
 
-fn render_json(results: &[Measured], probe: &AllocProbe) -> String {
+fn render_json(results: &[Measured], probe: &AllocProbe, obs_probe: &AllocProbe) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"pm-bench/perf-smoke/v1\",\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -261,12 +325,22 @@ fn render_json(results: &[Measured], probe: &AllocProbe) -> String {
     let _ = write!(
         out,
         "  ],\n  \"alloc_probe\": {{\"base_blocks\": {}, \"base_allocs\": {}, \
-         \"scaled_blocks\": {}, \"scaled_allocs\": {}, \"per_block_allocs\": {:.4}}}\n}}\n",
+         \"scaled_blocks\": {}, \"scaled_allocs\": {}, \"per_block_allocs\": {:.4}}},\n",
         probe.base_blocks,
         probe.base_allocs,
         probe.scaled_blocks,
         probe.scaled_allocs,
         probe.per_block_allocs
+    );
+    let _ = write!(
+        out,
+        "  \"obs_alloc_probe\": {{\"base_blocks\": {}, \"base_allocs\": {}, \
+         \"scaled_blocks\": {}, \"scaled_allocs\": {}, \"per_block_allocs\": {:.4}}}\n}}\n",
+        obs_probe.base_blocks,
+        obs_probe.base_allocs,
+        obs_probe.scaled_blocks,
+        obs_probe.scaled_allocs,
+        obs_probe.per_block_allocs
     );
     out
 }
@@ -352,8 +426,18 @@ fn main() -> ExitCode {
         probe.scaled_allocs,
         probe.per_block_allocs
     );
+    let obs_probe = obs_alloc_probe();
+    println!(
+        "obs alloc probe (progress + manifest on): {} blocks -> {} allocs, \
+         {} blocks -> {} allocs ({:.4} allocs/block)",
+        obs_probe.base_blocks,
+        obs_probe.base_allocs,
+        obs_probe.scaled_blocks,
+        obs_probe.scaled_allocs,
+        obs_probe.per_block_allocs
+    );
 
-    let json = render_json(&results, &probe);
+    let json = render_json(&results, &probe, &obs_probe);
     fs::write(&out_path, &json).expect("write BENCH_core.json");
     println!("wrote {out_path}");
 
@@ -362,6 +446,14 @@ fn main() -> ExitCode {
         eprintln!(
             "FAIL: steady-state demand path allocates ({:.4} allocs per merged block)",
             probe.per_block_allocs
+        );
+        failed = true;
+    }
+    if check_alloc && obs_probe.per_block_allocs > 0.0 {
+        eprintln!(
+            "FAIL: observability layer adds per-block allocations \
+             ({:.4} allocs per merged block with progress + manifest on)",
+            obs_probe.per_block_allocs
         );
         failed = true;
     }

@@ -5,6 +5,11 @@ use pm_core::{
     run_trials, run_trials_traced, AdmissionPolicy, MergeConfig, PrefetchChoice, PrefetchStrategy,
     SimDuration, SyncMode, WriteSpec,
 };
+use pm_obs::{
+    env_record_line, parse_manifest, render_manifest, render_report, run_suite, validation_points,
+    ConvergencePolicy, NullProgress, ProgressSink, StderrProgress, SuiteOptions, TolerancePolicy,
+    TrialsMode,
+};
 use pm_report::{Align, AsciiPlot, Table};
 use pm_trace::{export, TraceMetrics};
 
@@ -400,6 +405,174 @@ pub fn run_batch(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Parses the validate-only options into a [`SuiteOptions`].
+fn validate_options(args: &Args) -> Result<SuiteOptions, ArgError> {
+    let trials = match args.get("trials").unwrap_or("auto") {
+        "auto" => {
+            let rel_ci: f64 = args.get_parsed("rel-ci", 0.02)?;
+            if !(rel_ci.is_finite() && rel_ci > 0.0) {
+                return Err(ArgError("--rel-ci must be positive".into()));
+            }
+            TrialsMode::Auto(ConvergencePolicy {
+                rel_ci,
+                min_trials: args.get_parsed("min-trials", 3u32)?,
+                max_trials: args.get_parsed("max-trials", 12u32)?,
+                ..ConvergencePolicy::default()
+            })
+        }
+        t => TrialsMode::Fixed(
+            t.parse()
+                .map_err(|_| ArgError(format!("--trials must be a count or 'auto', got '{t}'")))?,
+        ),
+    };
+    let defaults = TolerancePolicy::default();
+    let tolerance = TolerancePolicy {
+        equation_rel: args.get_parsed("tol-eq", defaults.equation_rel)?,
+        striped_rel: args.get_parsed("tol-striped", defaults.striped_rel)?,
+        bound_slack: args.get_parsed("tol-bound", defaults.bound_slack)?,
+        concurrency_rel: args.get_parsed("tol-conc", defaults.concurrency_rel)?,
+    };
+    Ok(SuiteOptions {
+        trials,
+        jobs: args.get_parsed("jobs", 0usize)?,
+        tolerance,
+        trace: args.flag("trace"),
+        master_seed: args.get_parsed("seed", 1992)?,
+    })
+}
+
+/// `pmerge validate`
+///
+/// Runs the standing validation suite (T1/T2 tables plus the Fig. 3.2
+/// curves) and checks every point against the paper's closed forms.
+/// Returns `Ok(true)` when every residual check passed; `main` maps
+/// `Ok(false)` to exit status 1.
+pub fn validate(args: &Args) -> Result<bool, ArgError> {
+    args.check_known(&[
+        "quick", "html", "manifest", "trials", "rel-ci", "min-trials", "max-trials", "jobs",
+        "seed", "trace", "record-env", "progress", "tol-eq", "tol-striped", "tol-bound",
+        "tol-conc",
+    ])?;
+    let opts = validate_options(args)?;
+    let points = validation_points(opts.master_seed, args.flag("quick"));
+    let progress: Box<dyn ProgressSink> = if args.flag("progress")
+        || std::io::IsTerminal::is_terminal(&std::io::stderr())
+    {
+        Box::new(StderrProgress::new())
+    } else {
+        Box::new(NullProgress)
+    };
+    let started = std::time::Instant::now();
+    let records =
+        run_suite(&points, &opts, progress.as_ref()).map_err(|e| ArgError(e.to_string()))?;
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut table = Table::new(vec![
+        "case".into(),
+        "model".into(),
+        "predicted".into(),
+        "simulated".into(),
+        "ratio".into(),
+        "trials".into(),
+        "check".into(),
+    ]);
+    for i in 2..6 {
+        table.set_align(i, Align::Right);
+    }
+    let mut breaches = Vec::new();
+    let mut checked = 0usize;
+    for r in &records {
+        let (model, predicted, measured, ratio, verdict) = match &r.analytic {
+            Some(a) => {
+                checked += 1;
+                if !a.pass {
+                    breaches.push(format!("{} ({}: ratio {:.3})", r.label, a.kind, a.ratio));
+                }
+                let measured = if a.kind == "urn-E[D]" {
+                    r.metrics.mean_concurrency
+                } else {
+                    r.metrics.mean_total_secs
+                };
+                (
+                    a.kind.clone(),
+                    format!("{:.2}", a.predicted),
+                    format!("{measured:.2}"),
+                    format!("{:.3}", a.ratio),
+                    if a.pass { "pass" } else { "FAIL" },
+                )
+            }
+            None => (
+                "-".into(),
+                "-".into(),
+                format!("{:.2}", r.metrics.mean_total_secs),
+                "-".into(),
+                "n/a",
+            ),
+        };
+        table.add_row(vec![
+            r.label.clone(),
+            model,
+            predicted,
+            measured,
+            ratio,
+            r.trials.to_string(),
+            verdict.into(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} points, {} residual checks, {} breach(es) in {wall_secs:.1}s",
+        records.len(),
+        checked,
+        breaches.len()
+    );
+    for b in &breaches {
+        println!("  BREACH: {b}");
+    }
+
+    if let Some(path) = args.get("manifest") {
+        let mut out = render_manifest(&records);
+        if args.flag("record-env") {
+            out.push_str(&env_record_line(opts.jobs, wall_secs));
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.get("html") {
+        std::fs::write(path, render_report(&records))
+            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(breaches.is_empty())
+}
+
+/// `pmerge report`
+///
+/// Re-renders the HTML validation report from a saved manifest, so a
+/// long suite run never needs repeating just to regenerate its report.
+pub fn report(args: &Args) -> Result<(), ArgError> {
+    args.check_known(&["from", "html"])?;
+    let path = args.require("from")?;
+    let contents = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read '{path}': {e}")))?;
+    let records = parse_manifest(&contents).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    if records.is_empty() {
+        return Err(ArgError(format!("'{path}' contains no manifest records")));
+    }
+    let html = render_report(&records);
+    match args.get("html") {
+        Some(out) => {
+            std::fs::write(out, &html)
+                .map_err(|e| ArgError(format!("cannot write '{out}': {e}")))?;
+            println!("wrote {out} ({} records)", records.len());
+        }
+        // Bare stream to stdout so it can be piped or redirected.
+        None => print!("{html}"),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,5 +756,79 @@ mod tests {
     #[test]
     fn batch_requires_file() {
         assert!(run_batch(&args(&["batch"])).is_err());
+    }
+
+    #[test]
+    fn validate_options_parse() {
+        let opts = validate_options(&args(&["validate"])).unwrap();
+        assert_eq!(opts.master_seed, 1992);
+        assert_eq!(opts.jobs, 0);
+        assert!(matches!(opts.trials, TrialsMode::Auto(_)));
+        assert_eq!(opts.tolerance, TolerancePolicy::default());
+
+        let opts = validate_options(&args(&[
+            "validate", "--trials", "4", "--jobs", "2", "--seed", "7", "--tol-eq", "0.001",
+        ]))
+        .unwrap();
+        assert!(matches!(opts.trials, TrialsMode::Fixed(4)));
+        assert_eq!(opts.jobs, 2);
+        assert_eq!(opts.master_seed, 7);
+        assert!((opts.tolerance.equation_rel - 0.001).abs() < 1e-12);
+
+        let opts = validate_options(&args(&["validate", "--rel-ci", "0.05", "--max-trials", "6"]))
+            .unwrap();
+        match opts.trials {
+            TrialsMode::Auto(p) => {
+                assert!((p.rel_ci - 0.05).abs() < 1e-12);
+                assert_eq!(p.max_trials, 6);
+            }
+            TrialsMode::Fixed(_) => panic!("expected auto"),
+        }
+
+        assert!(validate_options(&args(&["validate", "--trials", "soon"])).is_err());
+        assert!(validate_options(&args(&["validate", "--rel-ci", "-1"])).is_err());
+        assert!(validate(&args(&["validate", "--quik"])).is_err());
+    }
+
+    #[test]
+    fn report_round_trips_a_manifest() {
+        // validate is too slow for a unit test; render a manifest from the
+        // library's suite driver on a tiny point instead.
+        let mut cfg = MergeConfig::paper_intra(4, 2, 5);
+        cfg.run_blocks = 40;
+        let points = vec![pm_obs::PointSpec {
+            kind: pm_obs::RecordKind::T1Case,
+            label: "tiny".into(),
+            sweep: None,
+            x: None,
+            x_label: None,
+            config: cfg,
+        }];
+        let opts = SuiteOptions {
+            trials: TrialsMode::Fixed(2),
+            ..SuiteOptions::new(1)
+        };
+        let records = run_suite(&points, &opts, &NullProgress).unwrap();
+        let dir = std::env::temp_dir();
+        let manifest = dir.join("pmerge-report-test.jsonl");
+        let html = dir.join("pmerge-report-test.html");
+        std::fs::write(&manifest, render_manifest(&records)).unwrap();
+
+        let m = manifest.to_str().unwrap().to_string();
+        let h = html.to_str().unwrap().to_string();
+        report(&args(&["report", "--from", &m, "--html", &h])).unwrap();
+        let rendered = std::fs::read_to_string(&html).unwrap();
+        assert!(rendered.starts_with("<!DOCTYPE html>"));
+        assert!(rendered.contains("tiny"));
+
+        std::fs::write(&manifest, "not json\n").unwrap();
+        assert!(report(&args(&["report", "--from", &m])).is_err());
+        std::fs::write(&manifest, "").unwrap();
+        assert!(report(&args(&["report", "--from", &m])).is_err());
+        let _ = std::fs::remove_file(manifest);
+        let _ = std::fs::remove_file(html);
+
+        assert!(report(&args(&["report"])).is_err());
+        assert!(report(&args(&["report", "--from", "/nonexistent/x.jsonl"])).is_err());
     }
 }

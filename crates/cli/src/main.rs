@@ -28,6 +28,11 @@ COMMANDS:
                'name: key=value ...' with the simulate options
     trace      Run a scenario with trial 1 traced and export the event
                stream (Chrome trace JSON, CSV, or ASCII Gantt)
+    validate   Run the standing validation suite (T1/T2 tables, Fig. 3.2
+               curves) against the paper's closed forms; exits 1 on any
+               residual-tolerance breach
+    report     Re-render the HTML validation report from a saved
+               manifest (--from) without re-running the suite
 
 SCENARIO OPTIONS (simulate, sweep):
     --runs <k>          number of sorted runs            [default: 25]
@@ -61,6 +66,31 @@ SWEEP OPTIONS:
 
 ANALYZE OPTIONS:
     --runs, --disks, --n as above
+
+VALIDATE OPTIONS:
+    --quick             thin the sweep curves (~3x fewer points)
+    --html <path>       write the self-contained HTML report here
+    --manifest <path>   write the JSONL run manifest here (byte-identical
+                        for every --jobs value)
+    --trials <t|auto>   fixed trial count, or adaptive convergence
+                        [default: auto]
+    --rel-ci <f>        auto: stop once the 95% CI half-width is within
+                        this fraction of the mean  [default: 0.02]
+    --min-trials <t>    auto: trials to start with [default: 3]
+    --max-trials <t>    auto: hard cap per point   [default: 12]
+    --jobs <j>          worker threads (0 = all cores) [default: 0]
+    --seed <s>          master seed                [default: 1992]
+    --trace             attach per-disk trace rollups to the manifest
+    --record-env        append the (non-deterministic) host/env record
+    --progress          force the live progress line (default: TTY only)
+    --tol-eq <f>        two-sided tolerance for eqs. 1-5 [default: 0.02]
+    --tol-striped <f>   two-sided tolerance, striped eq4 [default: 0.05]
+    --tol-bound <f>     one-sided slack, kBT/D + asymptote [default: 0.005]
+    --tol-conc <f>      one-sided slack, urn concurrency [default: 0.10]
+
+REPORT OPTIONS:
+    --from <path>       manifest JSONL written by 'validate --manifest'
+    --html <path>       output file; omitted = stream HTML to stdout
 ";
 
 fn main() {
@@ -77,6 +107,17 @@ fn main() {
         Some("sweep") => commands::sweep(&args),
         Some("batch") => commands::run_batch(&args),
         Some("trace") => commands::trace(&args),
+        // validate distinguishes "ran fine but a residual breached its
+        // tolerance" (exit 1) from usage errors (exit 2).
+        Some("validate") => match commands::validate(&args) {
+            Ok(true) => Ok(()),
+            Ok(false) => {
+                eprintln!("validation FAILED: residual tolerance breached");
+                std::process::exit(1);
+            }
+            Err(e) => Err(e),
+        },
+        Some("report") => commands::report(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

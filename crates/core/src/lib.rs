@@ -55,7 +55,9 @@ pub use depletion::{DepletionModel, SkewedDepletion, TraceDepletion, UniformDepl
 pub use layout::{RunLayout, RunPlacement};
 pub use metrics::MergeReport;
 pub use prefetch::PrefetchChoice;
-pub use runner::{run_trials, run_trials_parallel, run_trials_traced, TrialSummary};
+pub use runner::{
+    run_trial_range, run_trials, run_trials_parallel, run_trials_traced, TrialSummary,
+};
 pub use sim::MergeSim;
 pub use strategy::{PrefetchStrategy, SyncMode};
 pub use timeline::{ServiceInterval, StallInterval, Timeline};

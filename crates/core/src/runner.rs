@@ -96,19 +96,58 @@ pub fn run_trials_parallel(
     jobs: usize,
 ) -> Result<TrialSummary, ConfigError> {
     assert!(trials > 0, "need at least one trial");
+    let reports = run_trial_range(cfg, 0, trials, jobs, &|_, _| {})?;
+    Ok(TrialSummary::from_reports(reports))
+}
+
+/// Runs trials `first .. first + count` of `cfg` over up to `jobs` worker
+/// threads, returning the reports in trial-index order.
+///
+/// Trial `i`'s seed is element `i` of the sequence
+/// [`pm_sim::derive_seeds`] expands from `cfg.seed` — and that sequence is
+/// **prefix-stable**, so running trials `0..a` and then `a..b` in two
+/// calls produces exactly the reports of one `0..b` call. Incremental
+/// experiment drivers (convergence-controlled trial counts) rely on this
+/// to add trials without invalidating the ones already run.
+///
+/// `on_trial` is invoked once per finished trial with the trial index and
+/// its report. It runs on the worker threads (hence `Sync`), in
+/// completion order — *not* necessarily index order — and is purely
+/// observational: the returned reports are bit-identical for every `jobs`
+/// value regardless of what it does. Use it for progress reporting, not
+/// aggregation.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if `cfg` is invalid.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or `first + count` overflows `u32`.
+pub fn run_trial_range(
+    cfg: &MergeConfig,
+    first: u32,
+    count: u32,
+    jobs: usize,
+    on_trial: &(dyn Fn(u32, &MergeReport) + Sync),
+) -> Result<Vec<MergeReport>, ConfigError> {
+    assert!(count > 0, "need at least one trial");
+    let end = first.checked_add(count).expect("trial range overflows u32");
     cfg.validate()?;
-    let seeds = pm_sim::derive_seeds(cfg.seed, trials as usize);
+    let seeds = pm_sim::derive_seeds(cfg.seed, end as usize);
     let base = *cfg;
-    let reports = parallel::run_ordered(trials as usize, jobs, |i| {
+    Ok(parallel::run_ordered(count as usize, jobs, |i| {
+        let trial = first + i as u32;
         let mut trial_cfg = base;
-        trial_cfg.seed = seeds[i];
+        trial_cfg.seed = seeds[trial as usize];
         // `validate()` is seed-independent, so the per-trial config is
         // exactly as valid as `cfg` checked above.
-        MergeSim::new(trial_cfg)
+        let report = MergeSim::new(trial_cfg)
             .expect("seed change cannot invalidate a validated config")
-            .run(&mut UniformDepletion)
-    });
-    Ok(TrialSummary::from_reports(reports))
+            .run(&mut UniformDepletion);
+        on_trial(trial, &report);
+        report
+    }))
 }
 
 /// [`run_trials_parallel`] with the **first trial traced**: trial 0 runs
@@ -292,6 +331,33 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_panics() {
         let _ = run_trials(&cfg(), 0);
+    }
+
+    #[test]
+    fn trial_ranges_are_prefix_stable() {
+        let whole = run_trial_range(&cfg(), 0, 6, 1, &|_, _| {}).unwrap();
+        let mut pieces = run_trial_range(&cfg(), 0, 2, 1, &|_, _| {}).unwrap();
+        pieces.extend(run_trial_range(&cfg(), 2, 4, 2, &|_, _| {}).unwrap());
+        assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn trial_range_observer_sees_every_trial_once() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        let reports = run_trial_range(&cfg(), 3, 4, 2, &|trial, report| {
+            seen.lock().unwrap().push((trial, report.total));
+        })
+        .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_by_key(|&(t, _)| t);
+        assert_eq!(
+            seen.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+        for (i, &(_, total)) in seen.iter().enumerate() {
+            assert_eq!(total, reports[i].total);
+        }
     }
 
     #[test]

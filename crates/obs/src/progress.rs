@@ -1,0 +1,288 @@
+//! Live progress reporting for sweep/validation runs.
+//!
+//! Experiment drivers call a [`ProgressSink`] from their trial runners;
+//! the sink decides what (if anything) to show. [`NullProgress`] is the
+//! silent default; [`StderrProgress`] renders a throttled one-line status
+//! to stderr with points done, trial throughput, and an EWMA-based ETA.
+//!
+//! Progress is strictly **observational**: sinks are driven from
+//! completion-order callbacks (see `pm_core::run_trial_range`) and must
+//! never influence results. Nothing in this module feeds back into the
+//! simulation or aggregation.
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Receiver for experiment progress events.
+///
+/// All methods have empty default bodies, so a sink only overrides what it
+/// renders. Implementations must be `Sync`: `trial_finished` is invoked
+/// from worker threads, in completion order.
+pub trait ProgressSink: Sync {
+    /// A suite of `total_points` experiment points is starting.
+    fn begin(&self, total_points: usize) {
+        let _ = total_points;
+    }
+
+    /// Point `index` (0-based) of `total` is starting.
+    fn point_started(&self, index: usize, total: usize, label: &str) {
+        let _ = (index, total, label);
+    }
+
+    /// One simulation trial of the current point finished.
+    fn trial_finished(&self) {}
+
+    /// Point `index` finished after `trials` trials with the given mean
+    /// total time.
+    fn point_finished(&self, index: usize, total: usize, label: &str, trials: u32, mean_secs: f64) {
+        let _ = (index, total, label, trials, mean_secs);
+    }
+
+    /// The suite finished.
+    fn end(&self) {}
+}
+
+/// A sink that ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProgress;
+
+impl ProgressSink for NullProgress {}
+
+/// EWMA smoothing factor for per-point durations (higher = more reactive).
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Minimum milliseconds between stderr repaints on the trial-level event.
+const THROTTLE_MS: u128 = 200;
+
+#[derive(Debug)]
+struct State {
+    started: Instant,
+    last_render: Option<Instant>,
+    total_points: usize,
+    points_done: usize,
+    trials_done: u64,
+    current_label: String,
+    point_started_at: Instant,
+    /// EWMA of completed point durations in seconds.
+    ewma_point_secs: Option<f64>,
+}
+
+/// Renders a single-line live status to stderr.
+///
+/// The line is repainted in place (`\r`) at most every 200 ms, showing
+/// `[done/total]` points, the current scenario label, cumulative trial
+/// throughput, and an ETA extrapolated from an exponentially-weighted
+/// moving average of completed point durations. [`ProgressSink::end`]
+/// clears the line so subsequent output starts on a clean row.
+#[derive(Debug)]
+pub struct StderrProgress {
+    state: Mutex<State>,
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StderrProgress {
+    /// Creates a sink with an empty status.
+    #[must_use]
+    pub fn new() -> Self {
+        let now = Instant::now();
+        StderrProgress {
+            state: Mutex::new(State {
+                started: now,
+                last_render: None,
+                total_points: 0,
+                points_done: 0,
+                trials_done: 0,
+                current_label: String::new(),
+                point_started_at: now,
+                ewma_point_secs: None,
+            }),
+        }
+    }
+
+    fn paint(state: &mut State, force: bool) {
+        let now = Instant::now();
+        if !force {
+            if let Some(last) = state.last_render {
+                if now.duration_since(last).as_millis() < THROTTLE_MS {
+                    return;
+                }
+            }
+        }
+        state.last_render = Some(now);
+        let line = status_line(
+            state.points_done,
+            state.total_points,
+            &state.current_label,
+            state.trials_done,
+            now.duration_since(state.started).as_secs_f64(),
+            state.ewma_point_secs,
+        );
+        // `\x1b[2K` erases the previous (possibly longer) line.
+        eprint!("\r\x1b[2K{line}");
+        let _ = std::io::stderr().flush();
+    }
+}
+
+impl ProgressSink for StderrProgress {
+    fn begin(&self, total_points: usize) {
+        let mut s = self.state.lock().expect("progress state");
+        s.started = Instant::now();
+        s.total_points = total_points;
+        Self::paint(&mut s, true);
+    }
+
+    fn point_started(&self, index: usize, total: usize, label: &str) {
+        let mut s = self.state.lock().expect("progress state");
+        s.points_done = index;
+        s.total_points = total;
+        s.current_label = label.to_string();
+        s.point_started_at = Instant::now();
+        Self::paint(&mut s, true);
+    }
+
+    fn trial_finished(&self) {
+        let mut s = self.state.lock().expect("progress state");
+        s.trials_done += 1;
+        Self::paint(&mut s, false);
+    }
+
+    fn point_finished(&self, index: usize, total: usize, label: &str, trials: u32, mean_secs: f64) {
+        let _ = (label, trials, mean_secs);
+        let mut s = self.state.lock().expect("progress state");
+        s.points_done = index + 1;
+        s.total_points = total;
+        let took = s.point_started_at.elapsed().as_secs_f64();
+        s.ewma_point_secs = Some(match s.ewma_point_secs {
+            None => took,
+            Some(prev) => EWMA_ALPHA * took + (1.0 - EWMA_ALPHA) * prev,
+        });
+        Self::paint(&mut s, true);
+    }
+
+    fn end(&self) {
+        let mut s = self.state.lock().expect("progress state");
+        Self::paint(&mut s, true);
+        eprintln!();
+        s.current_label.clear();
+    }
+}
+
+/// Formats one status line (pure; extracted for testing).
+fn status_line(
+    points_done: usize,
+    total_points: usize,
+    current_label: &str,
+    trials_done: u64,
+    elapsed_secs: f64,
+    ewma_point_secs: Option<f64>,
+) -> String {
+    let mut line = format!("[{points_done}/{total_points}]");
+    if !current_label.is_empty() {
+        line.push(' ');
+        line.push_str(current_label);
+    }
+    if elapsed_secs > 0.0 && trials_done > 0 {
+        let rate = trials_done as f64 / elapsed_secs;
+        line.push_str(&format!(" | {trials_done} trials ({rate:.1}/s)"));
+    }
+    if let Some(ewma) = ewma_point_secs {
+        let remaining = total_points.saturating_sub(points_done);
+        if remaining > 0 {
+            line.push_str(&format!(" | ETA {}", fmt_eta(ewma * remaining as f64)));
+        }
+    }
+    line
+}
+
+/// Formats seconds as `"42s"` / `"3m10s"` / `"2h05m"`.
+fn fmt_eta(secs: f64) -> String {
+    let s = secs.max(0.0).round() as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let p = NullProgress;
+        p.begin(3);
+        p.point_started(0, 3, "a");
+        p.trial_finished();
+        p.point_finished(0, 3, "a", 5, 1.0);
+        p.end();
+    }
+
+    #[test]
+    fn status_line_structure() {
+        let line = status_line(3, 13, "eq4: intra sync", 21, 10.0, Some(2.0));
+        assert!(line.starts_with("[3/13] eq4: intra sync"), "{line}");
+        assert!(line.contains("21 trials (2.1/s)"), "{line}");
+        assert!(line.contains("ETA 20s"), "{line}");
+    }
+
+    #[test]
+    fn status_line_before_any_data() {
+        assert_eq!(status_line(0, 13, "", 0, 0.0, None), "[0/13]");
+    }
+
+    #[test]
+    fn eta_omitted_when_done() {
+        let line = status_line(13, 13, "last", 65, 30.0, Some(2.0));
+        assert!(!line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn eta_formats() {
+        assert_eq!(fmt_eta(42.4), "42s");
+        assert_eq!(fmt_eta(190.0), "3m10s");
+        assert_eq!(fmt_eta(7500.0), "2h05m");
+        assert_eq!(fmt_eta(-1.0), "0s");
+    }
+
+    #[test]
+    fn stderr_sink_sequences_without_panicking() {
+        let p = StderrProgress::new();
+        p.begin(2);
+        p.point_started(0, 2, "point-a");
+        p.trial_finished();
+        p.trial_finished();
+        p.point_finished(0, 2, "point-a", 2, 1.5);
+        p.point_started(1, 2, "point-b");
+        p.trial_finished();
+        p.point_finished(1, 2, "point-b", 1, 0.5);
+        p.end();
+        let s = p.state.lock().unwrap();
+        assert_eq!(s.points_done, 2);
+        assert_eq!(s.trials_done, 3);
+        assert!(s.ewma_point_secs.is_some());
+    }
+
+    #[test]
+    fn ewma_blends_toward_recent_points() {
+        // Mirror the update rule on synthetic durations.
+        let mut ewma = None;
+        for took in [10.0, 2.0] {
+            ewma = Some(match ewma {
+                None => took,
+                Some(prev) => EWMA_ALPHA * took + (1.0 - EWMA_ALPHA) * prev,
+            });
+        }
+        let v: f64 = ewma.unwrap();
+        assert!(v < 10.0 && v > 2.0);
+        assert!((v - (0.3 * 2.0 + 0.7 * 10.0)).abs() < 1e-12);
+    }
+}

@@ -123,4 +123,78 @@ mod tests {
         let out = String::from_utf8(csv.into_inner()).unwrap();
         assert!(out.ends_with("10,1.5\n"));
     }
+
+    /// Minimal RFC 4180 reader used to prove the writer round-trips:
+    /// fields split on commas, quoted fields may contain commas, CR, LF,
+    /// and doubled quotes.
+    fn parse_csv(text: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut field = String::new();
+        let mut quoted = false;
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if quoted {
+                match c {
+                    '"' if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        field.push('"');
+                    }
+                    '"' => quoted = false,
+                    other => field.push(other),
+                }
+            } else {
+                match c {
+                    '"' => quoted = true,
+                    ',' => row.push(std::mem::take(&mut field)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut field));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    '\r' if chars.peek() == Some(&'\n') => {}
+                    other => field.push(other),
+                }
+            }
+        }
+        if !field.is_empty() || !row.is_empty() {
+            row.push(field);
+            rows.push(row);
+        }
+        rows
+    }
+
+    fn round_trips(fields: &[&str]) {
+        let header: Vec<&str> = (0..fields.len()).map(|_| "c").collect();
+        let mut csv = Csv::with_header(Vec::new(), &header).unwrap();
+        csv.row(fields.iter().copied()).unwrap();
+        let out = String::from_utf8(csv.into_inner()).unwrap();
+        let parsed = parse_csv(&out);
+        assert_eq!(parsed.len(), 2, "header + one row: {out:?}");
+        assert_eq!(
+            parsed[1],
+            fields.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            "raw: {out:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_labels_round_trip() {
+        // Labels like these flow from manifests into report CSVs.
+        round_trips(&["All Disks One Run, 5 disks", "12.2", "0.98"]);
+        round_trips(&["N=10 (25 runs, 5 disks)", "x"]);
+    }
+
+    #[test]
+    fn commas_quotes_and_newlines_round_trip() {
+        round_trips(&["plain", "has,comma", "has\"quote", "line\nbreak"]);
+        round_trips(&["\"fully quoted\"", "a,b,\"c\",d"]);
+        round_trips(&["trailing quote\"", "\"leading quote"]);
+        round_trips(&["crlf\r\nline", "cr\ralone"]);
+        round_trips(&["double\"\"doubled", "all three ,\"\n mixed"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_fields_round_trip() {
+        round_trips(&["", " ", "  padded  ", ""]);
+    }
 }

@@ -8,6 +8,8 @@
 //! * [`Csv`] — minimal RFC-4180 CSV output for downstream plotting.
 //! * [`AsciiPlot`] — multi-series scatter/line rendering in the terminal,
 //!   used to eyeball the shape of each reproduced figure.
+//! * [`SvgPlot`] — deterministic inline-SVG line charts with error bars,
+//!   embedded by the `pm-obs` HTML validation report.
 //! * [`Gantt`] — interval rows against a shared time axis, used with
 //!   `pm-core`'s execution timelines to visualize disk overlap.
 
@@ -17,9 +19,11 @@
 mod csv;
 mod gantt;
 mod plot;
+mod svg;
 mod table;
 
 pub use csv::Csv;
 pub use gantt::Gantt;
 pub use plot::AsciiPlot;
+pub use svg::SvgPlot;
 pub use table::{Align, Table};

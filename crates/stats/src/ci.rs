@@ -7,9 +7,9 @@ use crate::OnlineStats;
 /// The experiment harness runs a small number of independent simulation
 /// trials per data point (the paper averages a handful of trials), so the
 /// interval uses Student's t distribution rather than the normal
-/// approximation. Critical values are tabulated for 90/95/99% confidence and
-/// interpolated in between; for more than 30 degrees of freedom the normal
-/// quantile is used.
+/// approximation. Critical values are tabulated for 80/90/95/99/99.5%
+/// confidence and interpolated in between; for more than 30 degrees of
+/// freedom the normal quantile is used.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Sample mean.
@@ -22,53 +22,56 @@ pub struct ConfidenceInterval {
     pub n: u64,
 }
 
+/// Tabulated two-sided confidence levels, one per column of [`T_TABLE`].
+const CONF_LEVELS: [f64; 5] = [0.80, 0.90, 0.95, 0.99, 0.995];
+
 /// Two-sided t critical values, rows indexed by degrees of freedom 1..=30.
-/// Columns: 90%, 95%, 99%.
-const T_TABLE: [[f64; 3]; 30] = [
-    [6.314, 12.706, 63.657],
-    [2.920, 4.303, 9.925],
-    [2.353, 3.182, 5.841],
-    [2.132, 2.776, 4.604],
-    [2.015, 2.571, 4.032],
-    [1.943, 2.447, 3.707],
-    [1.895, 2.365, 3.499],
-    [1.860, 2.306, 3.355],
-    [1.833, 2.262, 3.250],
-    [1.812, 2.228, 3.169],
-    [1.796, 2.201, 3.106],
-    [1.782, 2.179, 3.055],
-    [1.771, 2.160, 3.012],
-    [1.761, 2.145, 2.977],
-    [1.753, 2.131, 2.947],
-    [1.746, 2.120, 2.921],
-    [1.740, 2.110, 2.898],
-    [1.734, 2.101, 2.878],
-    [1.729, 2.093, 2.861],
-    [1.725, 2.086, 2.845],
-    [1.721, 2.080, 2.831],
-    [1.717, 2.074, 2.819],
-    [1.714, 2.069, 2.807],
-    [1.711, 2.064, 2.797],
-    [1.708, 2.060, 2.787],
-    [1.706, 2.056, 2.779],
-    [1.703, 2.052, 2.771],
-    [1.701, 2.048, 2.763],
-    [1.699, 2.045, 2.756],
-    [1.697, 2.042, 2.750],
+/// Columns follow [`CONF_LEVELS`]: 80%, 90%, 95%, 99%, 99.5%.
+const T_TABLE: [[f64; 5]; 30] = [
+    [3.078, 6.314, 12.706, 63.657, 127.321],
+    [1.886, 2.920, 4.303, 9.925, 14.089],
+    [1.638, 2.353, 3.182, 5.841, 7.453],
+    [1.533, 2.132, 2.776, 4.604, 5.598],
+    [1.476, 2.015, 2.571, 4.032, 4.773],
+    [1.440, 1.943, 2.447, 3.707, 4.317],
+    [1.415, 1.895, 2.365, 3.499, 4.029],
+    [1.397, 1.860, 2.306, 3.355, 3.833],
+    [1.383, 1.833, 2.262, 3.250, 3.690],
+    [1.372, 1.812, 2.228, 3.169, 3.581],
+    [1.363, 1.796, 2.201, 3.106, 3.497],
+    [1.356, 1.782, 2.179, 3.055, 3.428],
+    [1.350, 1.771, 2.160, 3.012, 3.372],
+    [1.345, 1.761, 2.145, 2.977, 3.326],
+    [1.341, 1.753, 2.131, 2.947, 3.286],
+    [1.337, 1.746, 2.120, 2.921, 3.252],
+    [1.333, 1.740, 2.110, 2.898, 3.222],
+    [1.330, 1.734, 2.101, 2.878, 3.197],
+    [1.328, 1.729, 2.093, 2.861, 3.174],
+    [1.325, 1.725, 2.086, 2.845, 3.153],
+    [1.323, 1.721, 2.080, 2.831, 3.135],
+    [1.321, 1.717, 2.074, 2.819, 3.119],
+    [1.319, 1.714, 2.069, 2.807, 3.104],
+    [1.318, 1.711, 2.064, 2.797, 3.091],
+    [1.316, 1.708, 2.060, 2.787, 3.078],
+    [1.315, 1.706, 2.056, 2.779, 3.067],
+    [1.314, 1.703, 2.052, 2.771, 3.057],
+    [1.313, 1.701, 2.048, 2.763, 3.047],
+    [1.311, 1.699, 2.045, 2.756, 3.038],
+    [1.310, 1.697, 2.042, 2.750, 3.030],
 ];
 
-/// Large-sample (normal) critical values for 90/95/99%.
-const Z_VALUES: [f64; 3] = [1.645, 1.960, 2.576];
+/// Large-sample (normal) critical values, one per [`CONF_LEVELS`] column.
+const Z_VALUES: [f64; 5] = [1.282, 1.645, 1.960, 2.576, 2.807];
 
 /// Returns the two-sided critical value `t*` for the given degrees of
 /// freedom and confidence level.
 ///
-/// Confidence levels between the tabulated 0.90/0.95/0.99 are linearly
-/// interpolated; levels outside that range are clamped to the nearest
-/// tabulated column.
+/// Any confidence in `[0.80, 0.995]` is accepted: levels between the
+/// tabulated columns are linearly interpolated, and levels outside that
+/// range are clamped to the nearest tabulated column.
 #[must_use]
 pub(crate) fn t_critical(dof: u64, confidence: f64) -> f64 {
-    let row: &[f64; 3] = if dof == 0 {
+    let row: &[f64; 5] = if dof == 0 {
         // Degenerate: with one sample there is no spread estimate; the
         // interval half-width will be 0 anyway, so any finite value works.
         &T_TABLE[0]
@@ -77,17 +80,20 @@ pub(crate) fn t_critical(dof: u64, confidence: f64) -> f64 {
     } else {
         &Z_VALUES
     };
-    if confidence <= 0.90 {
-        row[0]
-    } else if confidence >= 0.99 {
-        row[2]
-    } else if confidence <= 0.95 {
-        let f = (confidence - 0.90) / 0.05;
-        row[0] + f * (row[1] - row[0])
-    } else {
-        let f = (confidence - 0.95) / 0.04;
-        row[1] + f * (row[2] - row[1])
+    if confidence <= CONF_LEVELS[0] {
+        return row[0];
     }
+    if confidence >= CONF_LEVELS[CONF_LEVELS.len() - 1] {
+        return row[CONF_LEVELS.len() - 1];
+    }
+    // Find the bracketing columns and interpolate.
+    for i in 1..CONF_LEVELS.len() {
+        if confidence <= CONF_LEVELS[i] {
+            let f = (confidence - CONF_LEVELS[i - 1]) / (CONF_LEVELS[i] - CONF_LEVELS[i - 1]);
+            return row[i - 1] + f * (row[i] - row[i - 1]);
+        }
+    }
+    unreachable!("confidence bracketed above")
 }
 
 impl ConfidenceInterval {
@@ -134,18 +140,16 @@ impl ConfidenceInterval {
         value >= self.low() && value <= self.high()
     }
 
-    /// Relative half-width (`half_width / |mean|`); `inf` if the mean is 0
-    /// but the half-width is not.
+    /// Relative half-width (`half_width / |mean|`), the convergence
+    /// criterion of auto-trial experiment drivers. `None` when the mean is
+    /// zero, where the ratio is undefined and no relative stopping rule
+    /// can apply.
     #[must_use]
-    pub fn relative_half_width(&self) -> f64 {
+    pub fn relative_half_width(&self) -> Option<f64> {
         if self.mean == 0.0 {
-            if self.half_width == 0.0 {
-                0.0
-            } else {
-                f64::INFINITY
-            }
+            None
         } else {
-            self.half_width / self.mean.abs()
+            Some(self.half_width / self.mean.abs())
         }
     }
 }
@@ -175,20 +179,67 @@ mod tests {
     }
 
     #[test]
-    fn t_critical_large_dof_uses_normal() {
-        assert!((t_critical(1000, 0.95) - 1.960).abs() < 1e-9);
+    fn t_critical_pinned_df1() {
+        assert!((t_critical(1, 0.80) - 3.078).abs() < 1e-9);
+        assert!((t_critical(1, 0.95) - 12.706).abs() < 1e-9);
+        assert!((t_critical(1, 0.995) - 127.321).abs() < 1e-9);
     }
 
     #[test]
-    fn t_critical_interpolates() {
-        let t = t_critical(4, 0.925);
-        assert!(t > 2.132 && t < 2.776);
+    fn t_critical_pinned_df29() {
+        assert!((t_critical(29, 0.80) - 1.311).abs() < 1e-9);
+        assert!((t_critical(29, 0.90) - 1.699).abs() < 1e-9);
+        assert!((t_critical(29, 0.95) - 2.045).abs() < 1e-9);
+        assert!((t_critical(29, 0.99) - 2.756).abs() < 1e-9);
+        assert!((t_critical(29, 0.995) - 3.038).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_critical_pinned_df30() {
+        assert!((t_critical(30, 0.80) - 1.310).abs() < 1e-9);
+        assert!((t_critical(30, 0.95) - 2.042).abs() < 1e-9);
+        assert!((t_critical(30, 0.995) - 3.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_critical_above_df30_uses_normal() {
+        for dof in [31u64, 100, 1000] {
+            assert!((t_critical(dof, 0.80) - 1.282).abs() < 1e-9, "dof={dof}");
+            assert!((t_critical(dof, 0.95) - 1.960).abs() < 1e-9, "dof={dof}");
+            assert!((t_critical(dof, 0.995) - 2.807).abs() < 1e-9, "dof={dof}");
+        }
+    }
+
+    #[test]
+    fn t_critical_interpolates_every_column_pair() {
+        // Midpoints land between the bracketing columns in every gap.
+        for (lo, hi) in [(0.80, 0.90), (0.90, 0.95), (0.95, 0.99), (0.99, 0.995)] {
+            let mid = 0.5 * (lo + hi);
+            let t = t_critical(4, mid);
+            assert!(
+                t > t_critical(4, lo) && t < t_critical(4, hi),
+                "confidence {mid}: {t}"
+            );
+        }
+        // Interpolation is exact at the midpoint of a linear segment.
+        let expected = 0.5 * (2.132 + 2.776);
+        assert!((t_critical(4, 0.925) - expected).abs() < 1e-9);
     }
 
     #[test]
     fn t_critical_clamps_extremes() {
-        assert_eq!(t_critical(5, 0.5), t_critical(5, 0.90));
-        assert_eq!(t_critical(5, 0.999), t_critical(5, 0.99));
+        assert_eq!(t_critical(5, 0.5), t_critical(5, 0.80));
+        assert_eq!(t_critical(5, 0.9999), t_critical(5, 0.995));
+    }
+
+    #[test]
+    fn t_critical_monotone_in_confidence() {
+        let mut prev = 0.0;
+        for conf in [0.80, 0.85, 0.90, 0.93, 0.95, 0.97, 0.99, 0.992, 0.995] {
+            let t = t_critical(10, conf);
+            assert!(t > prev, "confidence {conf}: {t} <= {prev}");
+            prev = t;
+        }
     }
 
     #[test]
@@ -201,6 +252,16 @@ mod tests {
         assert!((ci.half_width - expected).abs() < 1e-9);
         assert!(ci.contains(3.0));
         assert!(!ci.contains(100.0));
+    }
+
+    #[test]
+    fn interval_at_80_percent_is_narrower() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let narrow = ConfidenceInterval::from_samples(&samples, 0.80);
+        let wide = ConfidenceInterval::from_samples(&samples, 0.995);
+        assert!(narrow.half_width < wide.half_width);
+        assert!((narrow.half_width - 1.533 * (0.5f64).sqrt()).abs() < 1e-9);
+        assert!((wide.half_width - 5.598 * (0.5f64).sqrt()).abs() < 1e-9);
     }
 
     #[test]
@@ -219,13 +280,19 @@ mod tests {
             confidence: 0.95,
             n: 3,
         };
-        assert_eq!(ci.relative_half_width(), 0.0);
+        assert_eq!(ci.relative_half_width(), None);
         let ci2 = ConfidenceInterval {
             mean: 0.0,
             half_width: 1.0,
             ..ci
         };
-        assert!(ci2.relative_half_width().is_infinite());
+        assert_eq!(ci2.relative_half_width(), None);
+        let ci3 = ConfidenceInterval {
+            mean: -4.0,
+            half_width: 1.0,
+            ..ci
+        };
+        assert_eq!(ci3.relative_half_width(), Some(0.25));
     }
 
     #[test]

@@ -64,6 +64,32 @@ impl Sweep {
         }
         Ok(())
     }
+
+    /// Returns a copy keeping every `stride`-th point plus the last one, so
+    /// quick modes preserve a curve's shape and both endpoints. Each kept
+    /// point is unchanged (same `x`, same config, same seed), so a thinned
+    /// sweep's results are a subset of the full sweep's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    #[must_use]
+    pub fn thinned(&self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let last = self.points.len().saturating_sub(1);
+        let points = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i % stride == 0 || i == last)
+            .map(|(_, p)| p.clone())
+            .collect();
+        Sweep {
+            label: self.label.clone(),
+            x_label: self.x_label.clone(),
+            points,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +106,23 @@ mod tests {
         assert_eq!(s.points[2].x, 3.0);
         assert_eq!(s.points[2].config.cache_blocks, 75);
         assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn thinned_keeps_stride_and_endpoints() {
+        let s = Sweep::build("demo", "N", (1..=10).map(f64::from), |x| {
+            MergeConfig::paper_intra(25, 5, x as u32)
+        });
+        let t = s.thinned(4);
+        assert_eq!(
+            t.points.iter().map(|p| p.x).collect::<Vec<_>>(),
+            vec![1.0, 5.0, 9.0, 10.0]
+        );
+        assert_eq!(t.label, s.label);
+        // Kept points are unchanged.
+        assert_eq!(t.points[1].config, s.points[4].config);
+        // Stride 1 is the identity.
+        assert_eq!(s.thinned(1).len(), s.len());
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub use pm_cache as cache;
 pub use pm_core as core;
 pub use pm_disk as disk;
 pub use pm_extsort as extsort;
+pub use pm_obs as obs;
 pub use pm_report as report;
 pub use pm_sim as sim;
 pub use pm_stats as stats;

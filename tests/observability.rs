@@ -1,0 +1,109 @@
+//! End-to-end guarantees of the `pm-obs` experiment layer:
+//!
+//! * the rendered HTML report of a pinned tiny suite matches its golden
+//!   snapshot byte-for-byte (regenerate with `UPDATE_GOLDEN=1`),
+//! * manifests are byte-identical for every worker-thread count, with
+//!   convergence-controlled trials and trace rollups enabled,
+//! * a manifest survives a render → parse → render round trip.
+
+use std::path::PathBuf;
+
+use pm_core::MergeConfig;
+use pm_obs::{
+    parse_manifest, render_manifest, render_report, run_suite, ConvergencePolicy, NullProgress,
+    PointSpec, RecordKind, SuiteOptions, TrialsMode,
+};
+
+/// A pinned miniature of the real validation suite: one case of each
+/// record kind plus a two-point sweep, small enough to run in debug mode.
+fn tiny_suite() -> Vec<PointSpec> {
+    let small = |mut cfg: MergeConfig| {
+        cfg.run_blocks = 40;
+        cfg.seed = 42;
+        cfg
+    };
+    let sweep_pt = |n: u32| PointSpec {
+        kind: RecordKind::SweepPoint,
+        label: format!("tiny intra @ N={n}"),
+        sweep: Some("tiny intra".into()),
+        x: Some(f64::from(n)),
+        x_label: Some("prefetch depth N".into()),
+        config: small(MergeConfig::paper_intra(4, 1, n)),
+    };
+    vec![
+        PointSpec {
+            kind: RecordKind::T1Case,
+            label: "tiny eq2: intra, k=4, D=1, N=5".into(),
+            sweep: None,
+            x: None,
+            x_label: None,
+            config: small(MergeConfig::paper_intra(4, 1, 5)),
+        },
+        PointSpec {
+            kind: RecordKind::T2Concurrency,
+            label: "tiny urn E[D]: intra, k=4, D=2, N=5".into(),
+            sweep: None,
+            x: None,
+            x_label: None,
+            config: small(MergeConfig::paper_intra(4, 2, 5)),
+        },
+        sweep_pt(3),
+        sweep_pt(6),
+    ]
+}
+
+fn tiny_opts(jobs: usize) -> SuiteOptions {
+    SuiteOptions {
+        // Auto mode so convergence decisions land in the manifest and the
+        // HTML convergence table renders.
+        trials: TrialsMode::Auto(ConvergencePolicy {
+            rel_ci: 0.05,
+            min_trials: 3,
+            max_trials: 6,
+            ..ConvergencePolicy::default()
+        }),
+        jobs,
+        trace: true,
+        ..SuiteOptions::new(42)
+    }
+}
+
+#[test]
+fn html_report_matches_golden_snapshot() {
+    let records = run_suite(&tiny_suite(), &tiny_opts(1), &NullProgress).unwrap();
+    let html = render_report(&records);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report_small.html");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &html).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden snapshot missing; rerun with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        html, golden,
+        "HTML report drifted from tests/golden/report_small.html; \
+         verify the change is intended and rerun with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn manifests_are_jobs_invariant_end_to_end() {
+    let points = tiny_suite();
+    let reference = render_manifest(&run_suite(&points, &tiny_opts(1), &NullProgress).unwrap());
+    for jobs in [2, 8, 0] {
+        let manifest =
+            render_manifest(&run_suite(&points, &tiny_opts(jobs), &NullProgress).unwrap());
+        assert_eq!(manifest, reference, "manifest differs at jobs={jobs}");
+    }
+}
+
+#[test]
+fn manifest_round_trips_through_parse() {
+    let records = run_suite(&tiny_suite(), &tiny_opts(1), &NullProgress).unwrap();
+    let manifest = render_manifest(&records);
+    let parsed = parse_manifest(&manifest).unwrap();
+    assert_eq!(parsed, records);
+    assert_eq!(render_manifest(&parsed), manifest);
+    // The re-parsed records render the same report, so `pmerge report
+    // --from` reproduces `pmerge validate --html` exactly.
+    assert_eq!(render_report(&parsed), render_report(&records));
+}
