@@ -8,7 +8,7 @@
 //! regression can be localized without re-profiling.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pm_core::{DepletionModel, MergeConfig, MergeSim, UniformDepletion};
+use pm_core::{DepletionModel, MergeSim, ScenarioBuilder, UniformDepletion};
 use pm_sim::{EventQueue, SimRng, SimTime};
 use pm_cache::RunId;
 use std::hint::black_box;
@@ -37,7 +37,7 @@ fn depletion_step(c: &mut Criterion) {
 fn demand_path(c: &mut Criterion) {
     c.bench_function("hotpath/demand_path_k25_d4", |b| {
         b.iter_batched(
-            || MergeConfig::paper_no_prefetch(25, 4),
+            || ScenarioBuilder::new(25, 4).build().unwrap(),
             |cfg| MergeSim::run_uniform(cfg).expect("valid config"),
             BatchSize::SmallInput,
         );

@@ -3,7 +3,7 @@
 //! throughput, not the simulated time).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pm_core::{MergeConfig, MergeSim, SyncMode};
+use pm_core::{MergeConfig, MergeSim, ScenarioBuilder, SyncMode};
 
 fn bench_config(c: &mut Criterion, name: &str, cfg: MergeConfig) {
     c.bench_function(name, |b| {
@@ -16,14 +16,14 @@ fn bench_config(c: &mut Criterion, name: &str, cfg: MergeConfig) {
 }
 
 fn simulator_benches(c: &mut Criterion) {
-    bench_config(c, "sim/no_prefetch_k25_d1", MergeConfig::paper_no_prefetch(25, 1));
-    bench_config(c, "sim/no_prefetch_k25_d5", MergeConfig::paper_no_prefetch(25, 5));
-    bench_config(c, "sim/intra_k25_d5_n10", MergeConfig::paper_intra(25, 5, 10));
-    bench_config(c, "sim/inter_k25_d5_n10_c1200", MergeConfig::paper_inter(25, 5, 10, 1200));
-    let mut sync = MergeConfig::paper_inter(25, 5, 10, 1200);
+    bench_config(c, "sim/no_prefetch_k25_d1", ScenarioBuilder::new(25, 1).build().unwrap());
+    bench_config(c, "sim/no_prefetch_k25_d5", ScenarioBuilder::new(25, 5).build().unwrap());
+    bench_config(c, "sim/intra_k25_d5_n10", ScenarioBuilder::new(25, 5).intra(10).build().unwrap());
+    bench_config(c, "sim/inter_k25_d5_n10_c1200", ScenarioBuilder::new(25, 5).inter(10).cache_blocks(1200).build().unwrap());
+    let mut sync = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(1200).build().unwrap();
     sync.sync = SyncMode::Synchronized;
     bench_config(c, "sim/inter_sync_k25_d5_n10", sync);
-    bench_config(c, "sim/inter_k50_d10_n10_c3500", MergeConfig::paper_inter(50, 10, 10, 3500));
+    bench_config(c, "sim/inter_k50_d10_n10_c3500", ScenarioBuilder::new(50, 10).inter(10).cache_blocks(3500).build().unwrap());
 }
 
 criterion_group! {

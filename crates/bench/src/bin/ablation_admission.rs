@@ -10,7 +10,7 @@
 //! Usage: `ablation_admission [--trials n] [--quick]`
 
 use pm_bench::{format_num, Harness};
-use pm_core::{AdmissionPolicy, MergeConfig};
+use pm_core::{AdmissionPolicy, ScenarioBuilder};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -41,7 +41,7 @@ fn main() {
 
     for cache in caches {
         let run_one = |policy: AdmissionPolicy| {
-            let mut cfg = MergeConfig::paper_inter(k, d, n, cache);
+            let mut cfg = ScenarioBuilder::new(k, d).inter(n).cache_blocks(cache).build().unwrap();
             cfg.admission = policy;
             cfg.seed = harness.seed ^ u64::from(cache);
             harness.run_trials(&cfg).expect("valid case")

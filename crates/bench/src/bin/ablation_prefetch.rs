@@ -10,7 +10,7 @@
 //! Usage: `ablation_prefetch [--trials n] [--quick]`
 
 use pm_bench::Harness;
-use pm_core::{MergeConfig, PrefetchChoice};
+use pm_core::{PrefetchChoice, ScenarioBuilder};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -47,7 +47,7 @@ fn main() {
 
     for (label, k, d, n, cache) in scenarios {
         for policy in policies {
-            let mut cfg = MergeConfig::paper_inter(k, d, n, cache);
+            let mut cfg = ScenarioBuilder::new(k, d).inter(n).cache_blocks(cache).build().unwrap();
             cfg.prefetch_choice = policy;
             cfg.seed = harness.seed;
             let s = harness.run_trials(&cfg).expect("valid case");

@@ -11,7 +11,7 @@
 //! Usage: `ablation_queue [--trials n] [--quick]`
 
 use pm_bench::Harness;
-use pm_core::{MergeConfig, QueueDiscipline};
+use pm_core::{MergeConfig, QueueDiscipline, ScenarioBuilder};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -24,13 +24,13 @@ fn main() {
     let scenarios: Vec<(&str, MergeConfig)> = vec![
         (
             "inter k=25 D=5 N=10 C=600",
-            MergeConfig::paper_inter(25, 5, 10, 600),
+            ScenarioBuilder::new(25, 5).inter(10).cache_blocks(600).build().unwrap(),
         ),
         (
             "inter k=50 D=5 N=5 C=700",
-            MergeConfig::paper_inter(50, 5, 5, 700),
+            ScenarioBuilder::new(50, 5).inter(5).cache_blocks(700).build().unwrap(),
         ),
-        ("no-prefetch k=25 D=5", MergeConfig::paper_no_prefetch(25, 5)),
+        ("no-prefetch k=25 D=5", ScenarioBuilder::new(25, 5).build().unwrap()),
     ];
     let mut table = Table::new(vec![
         "scenario".into(),

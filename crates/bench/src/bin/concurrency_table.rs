@@ -10,7 +10,7 @@
 
 use pm_analysis::urn;
 use pm_bench::Harness;
-use pm_core::{MergeConfig};
+use pm_core::ScenarioBuilder;
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
 
     for (k, d) in cases {
         for n in [30u32, 100] {
-            let mut cfg = MergeConfig::paper_intra(k, d, n);
+            let mut cfg = ScenarioBuilder::new(k, d).intra(n).build().unwrap();
             cfg.seed = harness.seed ^ (u64::from(d) << 8) ^ u64::from(n);
             let summary = harness.run_trials(&cfg).expect("valid case");
             let measured = summary.mean_concurrency;

@@ -11,7 +11,7 @@
 //! Usage: `ext_adaptive [--trials n] [--quick]`
 
 use pm_bench::{format_num, Harness};
-use pm_core::{MergeConfig, PrefetchStrategy};
+use pm_core::{PrefetchStrategy, ScenarioBuilder};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -50,14 +50,14 @@ fn main() {
                 csv_row.push(String::new());
                 continue;
             }
-            let mut cfg = MergeConfig::paper_inter(k, d, n, cache);
+            let mut cfg = ScenarioBuilder::new(k, d).inter(n).cache_blocks(cache).build().unwrap();
             cfg.seed = harness.seed ^ u64::from(cache) ^ (u64::from(n) << 32);
             let secs = harness.run_trials(&cfg).expect("valid").mean_total_secs;
             best = best.min(secs);
             row.push(format!("{secs:.1}"));
             csv_row.push(format!("{secs:.3}"));
         }
-        let mut cfg = MergeConfig::paper_inter(k, d, 1, cache);
+        let mut cfg = ScenarioBuilder::new(k, d).inter(1).cache_blocks(cache).build().unwrap();
         cfg.strategy = PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: 20 };
         cfg.seed = harness.seed ^ u64::from(cache);
         let adaptive = harness.run_trials(&cfg).expect("valid").mean_total_secs;

@@ -16,7 +16,7 @@
 //! Usage: `ext_blocksize [--trials n]`
 
 use pm_bench::Harness;
-use pm_core::{DiskSpec, MergeConfig, PrefetchStrategy};
+use pm_core::{DiskSpec, PrefetchStrategy, ScenarioBuilder};
 use pm_report::{Align, Csv, Table};
 
 const RUN_BYTES: u64 = 4096 * 1000; // the paper's run: 4,096,000 bytes
@@ -53,7 +53,7 @@ fn main() {
         let cache_blocks = (CACHE_BYTES / u64::from(bs)) as u32;
         let n = ((OP_BYTES / u64::from(bs)) as u32).max(1);
 
-        let mut base = MergeConfig::paper_no_prefetch(k, d);
+        let mut base = ScenarioBuilder::new(k, d).build().unwrap();
         base.disk_spec = spec;
         base.run_blocks = run_blocks;
         base.seed = harness.seed ^ u64::from(bs);

@@ -10,7 +10,7 @@
 
 use pm_analysis::{pipeline, ModelParams};
 use pm_bench::Harness;
-use pm_core::{MergeConfig, PrefetchStrategy};
+use pm_core::{MergeConfig, PrefetchStrategy, ScenarioBuilder};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -20,12 +20,12 @@ fn main() {
     let formation = pipeline::formation_secs(&p, k, d);
 
     let strategies: Vec<(&str, MergeConfig)> = vec![
-        ("single disk, no prefetch", MergeConfig::paper_no_prefetch(k, 1)),
-        ("5 disks, no prefetch", MergeConfig::paper_no_prefetch(k, d)),
-        ("5 disks, intra N=10", MergeConfig::paper_intra(k, d, 10)),
-        ("5 disks, inter N=10", MergeConfig::paper_inter(k, d, 10, 1200)),
+        ("single disk, no prefetch", ScenarioBuilder::new(k, 1).build().unwrap()),
+        ("5 disks, no prefetch", ScenarioBuilder::new(k, d).build().unwrap()),
+        ("5 disks, intra N=10", ScenarioBuilder::new(k, d).intra(10).build().unwrap()),
+        ("5 disks, inter N=10", ScenarioBuilder::new(k, d).inter(10).cache_blocks(1200).build().unwrap()),
         ("5 disks, adaptive 1..20", {
-            let mut cfg = MergeConfig::paper_inter(k, d, 1, 1200);
+            let mut cfg = ScenarioBuilder::new(k, d).inter(1).cache_blocks(1200).build().unwrap();
             cfg.strategy = PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: 20 };
             cfg
         }),

@@ -10,7 +10,7 @@
 
 use pm_analysis::{bounds, equations, ModelParams};
 use pm_bench::Harness;
-use pm_core::MergeConfig;
+use pm_core::ScenarioBuilder;
 use pm_workload::Sweep;
 
 fn main() {
@@ -21,25 +21,25 @@ fn main() {
     let sweeps = vec![
         Sweep::build("All Disks One Run (100 runs, 10 disks)", "N", ns.iter().copied(), |x| {
             let n = x as u32;
-            let mut cfg = MergeConfig::paper_inter(k, 10, n, 4 * k * n);
+            let mut cfg = ScenarioBuilder::new(k, 10).inter(n).cache_blocks(4 * k * n).build().unwrap();
             cfg.seed = seed ^ 0x10 ^ u64::from(n);
             cfg
         }),
         Sweep::build("All Disks One Run (100 runs, 5 disks)", "N", ns.iter().copied(), |x| {
             let n = x as u32;
-            let mut cfg = MergeConfig::paper_inter(k, 5, n, 4 * k * n);
+            let mut cfg = ScenarioBuilder::new(k, 5).inter(n).cache_blocks(4 * k * n).build().unwrap();
             cfg.seed = seed ^ 0x20 ^ u64::from(n);
             cfg
         }),
         Sweep::build("Demand Run Only (100 runs, 10 disks)", "N", ns.iter().copied(), |x| {
             let n = x as u32;
-            let mut cfg = MergeConfig::paper_intra(k, 10, n);
+            let mut cfg = ScenarioBuilder::new(k, 10).intra(n).build().unwrap();
             cfg.seed = seed ^ 0x30 ^ u64::from(n);
             cfg
         }),
         Sweep::build("Demand Run Only (100 runs, 5 disks)", "N", ns.iter().copied(), |x| {
             let n = x as u32;
-            let mut cfg = MergeConfig::paper_intra(k, 5, n);
+            let mut cfg = ScenarioBuilder::new(k, 5).intra(n).build().unwrap();
             cfg.seed = seed ^ 0x40 ^ u64::from(n);
             cfg
         }),

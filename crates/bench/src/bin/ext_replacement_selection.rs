@@ -12,7 +12,7 @@
 //! Usage: `ext_replacement_selection [--trials n]`
 
 use pm_bench::Harness;
-use pm_core::{MergeConfig, MergeSim, PrefetchStrategy, SyncMode};
+use pm_core::{MergeSim, PrefetchStrategy, ScenarioBuilder, SyncMode};
 use pm_extsort::{external_sort, generate, ExtSortConfig, RunFormation, SortOutcome};
 use pm_report::{Align, Csv, Table};
 
@@ -21,7 +21,7 @@ const MEMORY: usize = 4_000; // records per memory load (100 blocks)
 const RPB: usize = 40;
 
 fn simulate(outcome: &SortOutcome, strategy: PrefetchStrategy, cache_factor: u32, seed: u64) -> f64 {
-    let mut cfg = MergeConfig::paper_no_prefetch(outcome.run_lengths.len() as u32, D);
+    let mut cfg = ScenarioBuilder::new(outcome.run_lengths.len() as u32, D).build().unwrap();
     cfg.strategy = strategy;
     cfg.sync = SyncMode::Unsynchronized;
     cfg.cache_blocks = cfg.runs * strategy.depth() * cache_factor;

@@ -18,7 +18,7 @@
 
 use pm_analysis::{equations, ModelParams};
 use pm_bench::Harness;
-use pm_core::{DataLayout, MergeConfig};
+use pm_core::{DataLayout, ScenarioBuilder};
 use pm_workload::Sweep;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
     let sweeps = vec![
         Sweep::build("Striped, intra-run", "N", ns.iter().copied(), |x| {
             let n = x as u32;
-            let mut cfg = MergeConfig::paper_intra(k, d, n);
+            let mut cfg = ScenarioBuilder::new(k, d).intra(n).build().unwrap();
             cfg.layout = DataLayout::Striped;
             cfg.cache_blocks = cache(n);
             cfg.seed = seed ^ 0x51 ^ u64::from(n);
@@ -39,14 +39,14 @@ fn main() {
         }),
         Sweep::build("Concatenated, intra-run", "N", ns.iter().copied(), |x| {
             let n = x as u32;
-            let mut cfg = MergeConfig::paper_intra(k, d, n);
+            let mut cfg = ScenarioBuilder::new(k, d).intra(n).build().unwrap();
             cfg.cache_blocks = cache(n);
             cfg.seed = seed ^ 0x52 ^ u64::from(n);
             cfg
         }),
         Sweep::build("Concatenated, inter-run (paper)", "N", ns.iter().copied(), |x| {
             let n = x as u32;
-            let mut cfg = MergeConfig::paper_inter(k, d, n, cache(n));
+            let mut cfg = ScenarioBuilder::new(k, d).inter(n).cache_blocks(cache(n)).build().unwrap();
             cfg.seed = seed ^ 0x53 ^ u64::from(n);
             cfg
         }),

@@ -9,7 +9,7 @@
 //! Usage: `ext_variance [--trials n]`  (n = total pool, default 30)
 
 use pm_bench::Harness;
-use pm_core::{run_trials_parallel, MergeConfig};
+use pm_core::{MergeConfig, ScenarioBuilder, run_trials_parallel};
 use pm_report::{Align, Csv, Table};
 use pm_stats::{ConfidenceInterval, OnlineStats};
 
@@ -20,10 +20,10 @@ fn main() {
     }
     let pool = harness.trials;
     let scenarios: Vec<(&str, MergeConfig)> = vec![
-        ("no prefetch, k=25, D=1", MergeConfig::paper_no_prefetch(25, 1)),
-        ("intra N=10, k=25, D=5", MergeConfig::paper_intra(25, 5, 10)),
-        ("inter N=10, k=25, D=5, C=600", MergeConfig::paper_inter(25, 5, 10, 600)),
-        ("inter N=10, k=25, D=5, C=1200", MergeConfig::paper_inter(25, 5, 10, 1200)),
+        ("no prefetch, k=25, D=1", ScenarioBuilder::new(25, 1).build().unwrap()),
+        ("intra N=10, k=25, D=5", ScenarioBuilder::new(25, 5).intra(10).build().unwrap()),
+        ("inter N=10, k=25, D=5, C=600", ScenarioBuilder::new(25, 5).inter(10).cache_blocks(600).build().unwrap()),
+        ("inter N=10, k=25, D=5, C=1200", ScenarioBuilder::new(25, 5).inter(10).cache_blocks(1200).build().unwrap()),
     ];
     let mut table = Table::new(vec![
         "scenario".into(),

@@ -11,7 +11,7 @@
 //! Usage: `ext_write_traffic [--trials n]`
 
 use pm_bench::Harness;
-use pm_core::{MergeConfig, WriteSpec};
+use pm_core::{ScenarioBuilder, WriteSpec};
 use pm_report::{Align, Csv, Table};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
     let (k, d, n, cache) = (25u32, 5u32, 10u32, 1200u32);
     let buffer = 64u32;
 
-    let base = MergeConfig::paper_inter(k, d, n, cache);
+    let base = ScenarioBuilder::new(k, d).inter(n).cache_blocks(cache).build().unwrap();
     let baseline = {
         let mut cfg = base;
         cfg.seed = harness.seed;

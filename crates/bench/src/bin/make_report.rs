@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use pm_analysis::{bounds, equations, urn, ModelParams};
 use pm_bench::Harness;
-use pm_core::{MergeConfig, SyncMode};
+use pm_core::{MergeConfig, ScenarioBuilder, SyncMode};
 use pm_report::{Align, Table};
 
 fn main() {
@@ -48,16 +48,16 @@ fn main() {
         case(
             format!("eq1 baseline k={k}"),
             total(k, equations::tau_single_no_prefetch(&p, k)),
-            MergeConfig::paper_no_prefetch(k, 1),
+            ScenarioBuilder::new(k, 1).build().unwrap(),
         );
     }
     case(
         "eq3 k=25 D=5".into(),
         total(25, equations::tau_multi_no_prefetch(&p, 25, 5)),
-        MergeConfig::paper_no_prefetch(25, 5),
+        ScenarioBuilder::new(25, 5).build().unwrap(),
     );
     {
-        let mut cfg = MergeConfig::paper_intra(25, 5, 30);
+        let mut cfg = ScenarioBuilder::new(25, 5).intra(30).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         case(
             "eq4 k=25 D=5 N=30 sync".into(),
@@ -66,7 +66,7 @@ fn main() {
         );
     }
     {
-        let mut cfg = MergeConfig::paper_inter(25, 5, 10, 2000);
+        let mut cfg = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(2000).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         case(
             "eq5 k=25 D=5 N=10 sync".into(),
@@ -87,7 +87,7 @@ fn main() {
         t2.set_align(i, Align::Right);
     }
     for (k, d) in [(25u32, 5u32), (50, 10)] {
-        let mut cfg = MergeConfig::paper_intra(k, d, 30);
+        let mut cfg = ScenarioBuilder::new(k, d).intra(30).build().unwrap();
         cfg.seed = harness.seed;
         let measured = harness.run_trials(&cfg).expect("valid").mean_concurrency;
         t2.add_row(vec![
@@ -101,12 +101,12 @@ fn main() {
 
     // Headline speedup.
     let baseline = {
-        let mut cfg = MergeConfig::paper_no_prefetch(25, 1);
+        let mut cfg = ScenarioBuilder::new(25, 1).build().unwrap();
         cfg.seed = harness.seed;
         harness.run_trials(&cfg).expect("valid").mean_total_secs
     };
     let inter = {
-        let mut cfg = MergeConfig::paper_inter(25, 5, 10, 1200);
+        let mut cfg = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(1200).build().unwrap();
         cfg.seed = harness.seed;
         harness.run_trials(&cfg).expect("valid").mean_total_secs
     };

@@ -14,7 +14,7 @@
 //! Usage: `model_vs_real [--trials n]`
 
 use pm_bench::Harness;
-use pm_core::{MergeConfig, MergeSim, PrefetchStrategy, SyncMode};
+use pm_core::{MergeSim, PrefetchStrategy, ScenarioBuilder, SyncMode};
 use pm_extsort::{external_sort, generate, ExtSortConfig, RunFormation};
 use pm_report::{Align, Csv, Table};
 
@@ -76,7 +76,7 @@ fn main() {
         assert_eq!(blocks, BLOCKS);
 
         for (sname, strategy, cache) in strategies() {
-            let mut cfg = MergeConfig::paper_no_prefetch(K, D);
+            let mut cfg = ScenarioBuilder::new(K, D).build().unwrap();
             cfg.run_blocks = BLOCKS;
             cfg.strategy = strategy;
             cfg.sync = SyncMode::Unsynchronized;

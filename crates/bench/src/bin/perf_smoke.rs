@@ -35,7 +35,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use pm_core::{MergeConfig, MergeSim, RecordingSink, SyncMode, UniformDepletion};
+use pm_core::{MergeConfig, MergeSim, RecordingSink, ScenarioBuilder, SyncMode, UniformDepletion};
 use pm_obs::{
     render_manifest, run_suite, PointSpec, ProgressSink, RecordKind, SuiteOptions, TrialsMode,
 };
@@ -103,13 +103,13 @@ fn scenarios() -> Vec<Scenario> {
         name: "no_prefetch_d1",
         strategy: "none",
         d: 1,
-        cfg: MergeConfig::paper_no_prefetch(25, 1),
+        cfg: ScenarioBuilder::new(25, 1).build().unwrap(),
     });
     v.push(Scenario {
         name: "intra_d4_n10",
         strategy: "intra",
         d: 4,
-        cfg: MergeConfig::paper_intra(25, 4, 10),
+        cfg: ScenarioBuilder::new(25, 4).intra(10).build().unwrap(),
     });
     for d in [2u32, 4, 8] {
         v.push(Scenario {
@@ -120,10 +120,10 @@ fn scenarios() -> Vec<Scenario> {
             },
             strategy: "inter",
             d,
-            cfg: MergeConfig::paper_inter(25, d, 10, 1200),
+            cfg: ScenarioBuilder::new(25, d).inter(10).cache_blocks(1200).build().unwrap(),
         });
     }
-    let mut sync = MergeConfig::paper_inter(25, 8, 10, 1200);
+    let mut sync = ScenarioBuilder::new(25, 8).inter(10).cache_blocks(1200).build().unwrap();
     sync.sync = SyncMode::Synchronized;
     v.push(Scenario {
         name: "inter_sync_d8_n10",
@@ -195,7 +195,7 @@ struct AllocProbe {
 
 fn alloc_probe() -> AllocProbe {
     let run_counted = |run_blocks: u32| -> (u64, u64) {
-        let mut cfg = MergeConfig::paper_inter(25, 8, 10, 1200);
+        let mut cfg = ScenarioBuilder::new(25, 8).inter(10).cache_blocks(1200).build().unwrap();
         cfg.run_blocks = run_blocks;
         let sim = MergeSim::new(cfg).expect("valid probe config");
         let (a0, _) = alloc_snapshot();
@@ -243,7 +243,7 @@ impl ProgressSink for FormattingProgress {
 /// cancels; only a per-block cost could survive, and there must be none.
 fn obs_alloc_probe() -> AllocProbe {
     let run_counted = |run_blocks: u32| -> (u64, u64) {
-        let mut cfg = MergeConfig::paper_inter(25, 8, 10, 1200);
+        let mut cfg = ScenarioBuilder::new(25, 8).inter(10).cache_blocks(1200).build().unwrap();
         cfg.run_blocks = run_blocks;
         let points = vec![PointSpec {
             kind: RecordKind::T1Case,
@@ -282,7 +282,7 @@ fn obs_alloc_probe() -> AllocProbe {
 /// reports — the sink only observes, it never participates. Returns
 /// whether the probe passed.
 fn trace_check() -> bool {
-    let cfg = MergeConfig::paper_inter(25, 8, 10, 1200);
+    let cfg = ScenarioBuilder::new(25, 8).inter(10).cache_blocks(1200).build().unwrap();
     let untraced = MergeSim::run_uniform(cfg).expect("valid probe config");
     let (traced, sink) = MergeSim::new(cfg)
         .expect("valid probe config")

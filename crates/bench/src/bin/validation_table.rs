@@ -6,7 +6,7 @@
 
 use pm_analysis::{bounds, equations, ModelParams};
 use pm_bench::Harness;
-use pm_core::{MergeConfig, SyncMode};
+use pm_core::{MergeConfig, ScenarioBuilder, SyncMode};
 use pm_report::{Align, Csv, Table};
 
 struct Case {
@@ -24,20 +24,20 @@ fn cases(p: &ModelParams) -> Vec<Case> {
         label: "eq1: no prefetch, k=25, D=1",
         analytic_secs: total(25, equations::tau_single_no_prefetch(p, 25)),
         paper_simulated: Some(360.9),
-        config: MergeConfig::paper_no_prefetch(25, 1),
+        config: ScenarioBuilder::new(25, 1).build().unwrap(),
     });
     v.push(Case {
         label: "eq1: no prefetch, k=50, D=1",
         analytic_secs: total(50, equations::tau_single_no_prefetch(p, 50)),
         paper_simulated: Some(916.0),
-        config: MergeConfig::paper_no_prefetch(50, 1),
+        config: ScenarioBuilder::new(50, 1).build().unwrap(),
     });
     for (k, n, paper) in [(25u32, 16u32, 73.0), (50, 16, 158.0), (25, 30, 64.0), (50, 30, 135.0)] {
         v.push(Case {
             label: Box::leak(format!("eq2: intra, k={k}, D=1, N={n}").into_boxed_str()),
             analytic_secs: total(k, equations::tau_single_intra(p, k, n)),
             paper_simulated: Some(paper),
-            config: MergeConfig::paper_intra(k, 1, n),
+            config: ScenarioBuilder::new(k, 1).intra(n).build().unwrap(),
         });
     }
     for (k, d, paper) in [(25u32, 5u32, 281.9), (50, 10, 563.5)] {
@@ -45,11 +45,11 @@ fn cases(p: &ModelParams) -> Vec<Case> {
             label: Box::leak(format!("eq3: no prefetch, k={k}, D={d}").into_boxed_str()),
             analytic_secs: total(k, equations::tau_multi_no_prefetch(p, k, d)),
             paper_simulated: Some(paper),
-            config: MergeConfig::paper_no_prefetch(k, d),
+            config: ScenarioBuilder::new(k, d).build().unwrap(),
         });
     }
     {
-        let mut cfg = MergeConfig::paper_intra(25, 5, 30);
+        let mut cfg = ScenarioBuilder::new(25, 5).intra(30).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         v.push(Case {
             label: "eq4: intra sync, k=25, D=5, N=30",
@@ -59,7 +59,7 @@ fn cases(p: &ModelParams) -> Vec<Case> {
         });
     }
     {
-        let mut cfg = MergeConfig::paper_inter(25, 5, 10, 2000);
+        let mut cfg = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(2000).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         v.push(Case {
             label: "eq5: inter sync, k=25, D=5, N=10",
@@ -74,20 +74,20 @@ fn cases(p: &ModelParams) -> Vec<Case> {
         label: "urn asymptote: intra unsync, k=25, D=5, N=30",
         analytic_secs: bounds::intra_unsync_asymptotic_secs(p, 25, 5, 30),
         paper_simulated: Some(28.5),
-        config: MergeConfig::paper_intra(25, 5, 30),
+        config: ScenarioBuilder::new(25, 5).intra(30).build().unwrap(),
     });
     // Inter-run unsynchronized with a huge cache approaches kBT/D.
     v.push(Case {
         label: "bound kBT/D: inter unsync, k=25, D=5, N=50",
         analytic_secs: bounds::multi_disk_lower_bound_secs(p, 25, 5),
         paper_simulated: Some(12.2),
-        config: MergeConfig::paper_inter(25, 5, 50, 5000),
+        config: ScenarioBuilder::new(25, 5).inter(50).cache_blocks(5000).build().unwrap(),
     });
     v.push(Case {
         label: "bound kBT/D: inter unsync, k=50, D=5, N=50",
         analytic_secs: bounds::multi_disk_lower_bound_secs(p, 50, 5),
         paper_simulated: Some(23.6),
-        config: MergeConfig::paper_inter(50, 5, 50, 10_000),
+        config: ScenarioBuilder::new(50, 5).inter(50).cache_blocks(10_000).build().unwrap(),
     });
     v
 }

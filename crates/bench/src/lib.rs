@@ -37,7 +37,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use pm_core::{parallel, run_trials_parallel, MergeConfig, TrialSummary};
+use pm_core::{MergeConfig, TrialSummary, parallel, run_trials_parallel};
 use pm_report::{Align, AsciiPlot, Csv, Table};
 use pm_workload::Sweep;
 
@@ -297,6 +297,7 @@ pub fn ensure_dir(path: &Path) -> &Path {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pm_core::ScenarioBuilder;
 
     #[test]
     fn format_num_trims_integers() {
@@ -307,7 +308,7 @@ mod tests {
     #[test]
     fn thin_keeps_endpoints() {
         let sweep = Sweep::build("s", "N", (1..=10).map(f64::from), |x| {
-            MergeConfig::paper_intra(4, 2, x as u32)
+            ScenarioBuilder::new(4, 2).intra(x as u32).build().unwrap()
         });
         let h = Harness {
             quick: true,
@@ -322,7 +323,7 @@ mod tests {
     #[test]
     fn thin_is_identity_without_quick() {
         let sweep = Sweep::build("s", "N", (1..=10).map(f64::from), |x| {
-            MergeConfig::paper_intra(4, 2, x as u32)
+            ScenarioBuilder::new(4, 2).intra(x as u32).build().unwrap()
         });
         let h = Harness::default();
         assert_eq!(h.thin(&sweep).len(), 10);
@@ -348,7 +349,7 @@ mod tests {
 
     #[test]
     fn harness_run_trials_matches_core_for_any_jobs() {
-        let mut cfg = MergeConfig::paper_intra(4, 2, 5);
+        let mut cfg = ScenarioBuilder::new(4, 2).intra(5).build().unwrap();
         cfg.run_blocks = 30;
         let baseline = pm_core::run_trials(&cfg, 3).unwrap();
         for jobs in [1usize, 2, 8] {
@@ -366,10 +367,10 @@ mod tests {
     fn parallel_sweeps_write_identical_csv() {
         let sweeps = vec![
             Sweep::build("a", "N", (1..=4).map(f64::from), |x| {
-                MergeConfig::paper_intra(4, 2, x as u32)
+                ScenarioBuilder::new(4, 2).intra(x as u32).build().unwrap()
             }),
             Sweep::build("b", "N", (1..=4).map(f64::from), |x| {
-                MergeConfig::paper_intra(6, 3, x as u32)
+                ScenarioBuilder::new(6, 3).intra(x as u32).build().unwrap()
             }),
         ];
         let run = |jobs: usize, tag: &str| {

@@ -6,6 +6,13 @@
 
 use std::collections::BTreeMap;
 
+use pm_core::PmError;
+
+/// Shorthand for the [`PmError::Usage`] failures this module reports.
+fn usage(msg: String) -> PmError {
+    PmError::Usage(msg)
+}
+
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -14,25 +21,13 @@ pub struct Args {
     flags: Vec<String>,
 }
 
-/// A parse or validation failure, printed with usage by `main`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ArgError(pub String);
-
-impl std::fmt::Display for ArgError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for ArgError {}
-
 impl Args {
     /// Parses a raw argument list (excluding the program name).
     ///
     /// The first non-flag token becomes the subcommand; everything else
     /// must be `--key value` pairs (bare `--key` tokens are boolean
     /// flags).
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, PmError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter().peekable();
         while let Some(token) = iter.next() {
@@ -49,7 +44,7 @@ impl Args {
             } else if args.command.is_none() {
                 args.command = Some(token);
             } else {
-                return Err(ArgError(format!("unexpected positional argument '{token}'")));
+                return Err(usage(format!("unexpected positional argument '{token}'")));
             }
         }
         Ok(args)
@@ -74,26 +69,26 @@ impl Args {
     }
 
     /// A parsed option with a default.
-    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, PmError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| ArgError(format!("invalid value '{v}' for --{name}"))),
+                .map_err(|_| usage(format!("invalid value '{v}' for --{name}"))),
         }
     }
 
     /// A required option.
-    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+    pub fn require(&self, name: &str) -> Result<&str, PmError> {
         self.get(name)
-            .ok_or_else(|| ArgError(format!("missing required option --{name}")))
+            .ok_or_else(|| usage(format!("missing required option --{name}")))
     }
 
     /// Rejects options/flags not in `allowed` (catches typos).
-    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), PmError> {
         for key in self.options.keys().chain(self.flags.iter()) {
             if !allowed.contains(&key.as_str()) {
-                return Err(ArgError(format!("unknown option --{key}")));
+                return Err(usage(format!("unknown option --{key}")));
             }
         }
         Ok(())
@@ -134,7 +129,8 @@ mod tests {
     #[test]
     fn rejects_extra_positional() {
         let err = Args::parse(["a".to_string(), "b".to_string()]).unwrap_err();
-        assert!(err.0.contains("unexpected positional"));
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("unexpected positional"));
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! Blank lines and `#` comments are ignored. Flag-like options (`sync`)
 //! appear bare.
 
-use crate::args::{ArgError, Args};
+use pm_core::PmError;
+
+use crate::args::Args;
 
 /// One parsed scenario line: its name and synthesized argument list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,7 +34,7 @@ pub struct BatchLine {
 /// # Errors
 ///
 /// Returns a message naming the offending line.
-pub fn parse_batch(contents: &str) -> Result<Vec<BatchLine>, ArgError> {
+pub fn parse_batch(contents: &str) -> Result<Vec<BatchLine>, PmError> {
     let mut lines = Vec::new();
     for (lineno, raw) in contents.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -40,14 +42,14 @@ pub fn parse_batch(contents: &str) -> Result<Vec<BatchLine>, ArgError> {
             continue;
         }
         let Some((name, rest)) = line.split_once(':') else {
-            return Err(ArgError(format!(
+            return Err(PmError::Usage(format!(
                 "line {}: expected 'name: key=value ...', got '{line}'",
                 lineno + 1
             )));
         };
         let name = name.trim();
         if name.is_empty() {
-            return Err(ArgError(format!("line {}: empty scenario name", lineno + 1)));
+            return Err(PmError::Usage(format!("line {}: empty scenario name", lineno + 1)));
         }
         let mut tokens = Vec::new();
         for word in rest.split_whitespace() {
@@ -57,7 +59,7 @@ pub fn parse_batch(contents: &str) -> Result<Vec<BatchLine>, ArgError> {
                     tokens.push(v.to_string());
                 }
                 Some(_) => {
-                    return Err(ArgError(format!(
+                    return Err(PmError::Usage(format!(
                         "line {}: malformed option '{word}'",
                         lineno + 1
                     )));
@@ -71,7 +73,7 @@ pub fn parse_batch(contents: &str) -> Result<Vec<BatchLine>, ArgError> {
         });
     }
     if lines.is_empty() {
-        return Err(ArgError("batch file contains no scenarios".into()));
+        return Err(PmError::Usage("batch file contains no scenarios".into()));
     }
     Ok(lines)
 }
@@ -81,9 +83,9 @@ pub fn parse_batch(contents: &str) -> Result<Vec<BatchLine>, ArgError> {
 /// # Errors
 ///
 /// Propagates parse failures with the scenario name attached.
-pub fn line_args(line: &BatchLine) -> Result<Args, ArgError> {
+pub fn line_args(line: &BatchLine) -> Result<Args, PmError> {
     Args::parse(line.tokens.iter().cloned())
-        .map_err(|e| ArgError(format!("scenario '{}': {e}", line.name)))
+        .map_err(|e| PmError::Usage(format!("scenario '{}': {e}", line.name)))
 }
 
 #[cfg(test)]
@@ -112,14 +114,14 @@ synced: runs=4 disks=2 sync
     #[test]
     fn rejects_missing_colon() {
         let err = parse_batch("just words\n").unwrap_err();
-        assert!(err.0.contains("line 1"));
+        assert!(err.to_string().contains("line 1"));
     }
 
     #[test]
     fn rejects_empty_name_and_malformed_options() {
-        assert!(parse_batch(": runs=4\n").unwrap_err().0.contains("empty scenario name"));
-        assert!(parse_batch("x: runs=\n").unwrap_err().0.contains("malformed option"));
-        assert!(parse_batch("x: =4\n").unwrap_err().0.contains("malformed option"));
+        assert!(parse_batch(": runs=4\n").unwrap_err().to_string().contains("empty scenario name"));
+        assert!(parse_batch("x: runs=\n").unwrap_err().to_string().contains("malformed option"));
+        assert!(parse_batch("x: =4\n").unwrap_err().to_string().contains("malformed option"));
     }
 
     #[test]

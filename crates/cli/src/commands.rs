@@ -2,8 +2,8 @@
 
 use pm_analysis::{bounds, equations, urn, ModelParams};
 use pm_core::{
-    run_trials, run_trials_traced, AdmissionPolicy, MergeConfig, PrefetchChoice, PrefetchStrategy,
-    SimDuration, SyncMode, WriteSpec,
+    run_trials, run_trials_traced, AdmissionPolicy, MergeConfig, PmError, PrefetchChoice,
+    PrefetchStrategy, ScenarioBuilder, SimDuration, SyncMode, WriteSpec,
 };
 use pm_obs::{
     env_record_line, parse_manifest, render_manifest, render_report, run_suite, validation_points,
@@ -13,7 +13,7 @@ use pm_obs::{
 use pm_report::{Align, AsciiPlot, Table};
 use pm_trace::{export, TraceMetrics};
 
-use crate::args::{ArgError, Args};
+use crate::args::Args;
 use crate::batch;
 
 const SCENARIO_KEYS: &[&str] = &[
@@ -21,21 +21,8 @@ const SCENARIO_KEYS: &[&str] = &[
     "cap", "layout", "write-disks", "write-buffer", "trials", "seed",
 ];
 
-/// Default cache capacity for a scenario: `k·N` frames for demand-side
-/// strategies, `4·k·N` (the paper's inter-run sizing) otherwise — where
-/// `N` is uniformly [`PrefetchStrategy::depth`], so the adaptive variant
-/// sizes on its floor `n_min` rather than the `--n` ceiling.
-fn default_cache_blocks(runs: u32, strategy: PrefetchStrategy) -> u32 {
-    let per_run = runs * strategy.depth();
-    if strategy.is_inter_run() {
-        4 * per_run
-    } else {
-        per_run
-    }
-}
-
-/// Builds a [`MergeConfig`] from scenario options.
-fn scenario(args: &Args) -> Result<(MergeConfig, u32), ArgError> {
+/// Builds a [`MergeConfig`] from scenario options via [`ScenarioBuilder`].
+fn scenario(args: &Args) -> Result<(MergeConfig, u32), PmError> {
     let runs: u32 = args.get_parsed("runs", 25)?;
     let blocks: u32 = args.get_parsed("blocks", 1000)?;
     let disks: u32 = args.get_parsed("disks", 5)?;
@@ -46,64 +33,65 @@ fn scenario(args: &Args) -> Result<(MergeConfig, u32), ArgError> {
         "inter" => PrefetchStrategy::InterRun { n },
         // Adaptive: `--n` caps the depth; the floor is 1.
         "adaptive" => PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: n },
-        other => return Err(ArgError(format!("unknown strategy '{other}'"))),
+        other => return Err(PmError::Usage(format!("unknown strategy '{other}'"))),
     };
-    let cache: u32 = args.get_parsed("cache", default_cache_blocks(runs, strategy))?;
     let cpu_ms: f64 = args.get_parsed("cpu-ms", 0.0)?;
     if !(cpu_ms.is_finite() && cpu_ms >= 0.0) {
-        return Err(ArgError("--cpu-ms must be >= 0".into()));
+        return Err(PmError::Usage("--cpu-ms must be >= 0".into()));
     }
     let admission = match args.get("admission").unwrap_or("all-or-nothing") {
         "all-or-nothing" | "aon" => AdmissionPolicy::AllOrNothing,
         "greedy" => AdmissionPolicy::Greedy,
-        other => return Err(ArgError(format!("unknown admission policy '{other}'"))),
+        other => return Err(PmError::Usage(format!("unknown admission policy '{other}'"))),
     };
     let choice = match args.get("choice").unwrap_or("random") {
         "random" => PrefetchChoice::Random,
         "least-held" => PrefetchChoice::LeastHeld,
         "head-proximity" => PrefetchChoice::HeadProximity,
-        other => return Err(ArgError(format!("unknown prefetch choice '{other}'"))),
+        other => return Err(PmError::Usage(format!("unknown prefetch choice '{other}'"))),
     };
     let layout = match args.get("layout").unwrap_or("concatenated") {
         "concatenated" | "concat" => pm_core::DataLayout::Concatenated,
         "striped" => pm_core::DataLayout::Striped,
-        other => return Err(ArgError(format!("unknown layout '{other}'"))),
+        other => return Err(PmError::Usage(format!("unknown layout '{other}'"))),
     };
     let cap: u32 = args.get_parsed("cap", 0)?;
     let write_disks: u32 = args.get_parsed("write-disks", 0)?;
     let write_buffer: u32 = args.get_parsed("write-buffer", 64)?;
     let trials: u32 = args.get_parsed("trials", 5)?;
     if trials == 0 {
-        return Err(ArgError("--trials must be positive".into()));
+        return Err(PmError::Usage("--trials must be positive".into()));
     }
-    let mut cfg = MergeConfig::paper_no_prefetch(runs, disks);
-    cfg.run_blocks = blocks;
-    cfg.strategy = strategy;
-    cfg.sync = if args.flag("sync") {
-        SyncMode::Synchronized
-    } else {
-        SyncMode::Unsynchronized
-    };
-    cfg.cache_blocks = cache;
-    cfg.cpu_per_block = SimDuration::from_millis_f64(cpu_ms);
-    cfg.admission = admission;
-    cfg.prefetch_choice = choice;
-    cfg.layout = layout;
-    cfg.per_run_cap = (cap > 0).then_some(cap);
-    cfg.write = (write_disks > 0).then_some(WriteSpec {
-        disks: write_disks,
-        buffer_blocks: write_buffer,
-    });
-    cfg.seed = args.get_parsed("seed", 1992)?;
-    cfg.validate().map_err(|e| ArgError(e.to_string()))?;
+    let mut builder = ScenarioBuilder::new(runs, disks)
+        .run_blocks(blocks)
+        .strategy(strategy)
+        .sync_mode(if args.flag("sync") {
+            SyncMode::Synchronized
+        } else {
+            SyncMode::Unsynchronized
+        })
+        .cpu_per_block(SimDuration::from_millis_f64(cpu_ms))
+        .admission(admission)
+        .prefetch_choice(choice)
+        .layout(layout)
+        .per_run_cap((cap > 0).then_some(cap))
+        .write((write_disks > 0).then_some(WriteSpec {
+            disks: write_disks,
+            buffer_blocks: write_buffer,
+        }))
+        .seed(args.get_parsed("seed", 1992)?);
+    if args.get("cache").is_some() {
+        builder = builder.cache_blocks(args.get_parsed("cache", 0)?);
+    }
+    let cfg = builder.build()?;
     Ok((cfg, trials))
 }
 
 /// `pmerge simulate`
-pub fn simulate(args: &Args) -> Result<(), ArgError> {
+pub fn simulate(args: &Args) -> Result<(), PmError> {
     args.check_known(SCENARIO_KEYS)?;
     let (cfg, trials) = scenario(args)?;
-    let summary = run_trials(&cfg, trials).map_err(|e| ArgError(e.to_string()))?;
+    let summary = run_trials(&cfg, trials)?;
     let r = &summary.reports[0];
     println!(
         "scenario: {} runs x {} blocks on {} disks, {} {} (N={}), cache {} blocks",
@@ -149,7 +137,7 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `pmerge trace`
-pub fn trace(args: &Args) -> Result<(), ArgError> {
+pub fn trace(args: &Args) -> Result<(), PmError> {
     let mut allowed = SCENARIO_KEYS.to_vec();
     allowed.extend_from_slice(&["trace-out", "trace-format", "trace-limit"]);
     args.check_known(&allowed)?;
@@ -157,15 +145,14 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
     let format = args.get("trace-format").unwrap_or("chrome");
     let limit: usize = args.get_parsed("trace-limit", 0usize)?;
     let (summary, sink) =
-        run_trials_traced(&cfg, trials, 1, (limit > 0).then_some(limit))
-            .map_err(|e| ArgError(e.to_string()))?;
+        run_trials_traced(&cfg, trials, 1, (limit > 0).then_some(limit))?;
     let events = sink.events();
     let rendered = match format {
         "chrome" => export::chrome_trace_json(&events),
         "csv" => export::csv(&events),
         "gantt" => export::gantt(&events, &export::GanttOptions::default()),
         other => {
-            return Err(ArgError(format!(
+            return Err(PmError::Usage(format!(
                 "unknown trace format '{other}' (chrome | csv | gantt)"
             )))
         }
@@ -175,8 +162,7 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
         print!("{rendered}");
         return Ok(());
     };
-    std::fs::write(path, &rendered)
-        .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+    std::fs::write(path, &rendered).map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
 
     let m = TraceMetrics::from_events(&events);
     println!(
@@ -241,14 +227,14 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `pmerge analyze`
-pub fn analyze(args: &Args) -> Result<(), ArgError> {
+pub fn analyze(args: &Args) -> Result<(), PmError> {
     args.check_known(&["runs", "disks", "n", "blocks"])?;
     let k: u32 = args.get_parsed("runs", 25)?;
     let d: u32 = args.get_parsed("disks", 5)?;
     let n: u32 = args.get_parsed("n", 10)?;
     let blocks: u64 = args.get_parsed("blocks", 1000u64)?;
     if k == 0 || d == 0 || n == 0 || blocks == 0 {
-        return Err(ArgError("all parameters must be positive".into()));
+        return Err(PmError::Usage("all parameters must be positive".into()));
     }
     let p = ModelParams {
         run_blocks: blocks,
@@ -283,7 +269,7 @@ pub fn analyze(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `pmerge sweep`
-pub fn sweep(args: &Args) -> Result<(), ArgError> {
+pub fn sweep(args: &Args) -> Result<(), PmError> {
     let mut allowed = SCENARIO_KEYS.to_vec();
     allowed.extend_from_slice(&["param", "from", "to", "step"]);
     args.check_known(&allowed)?;
@@ -291,12 +277,12 @@ pub fn sweep(args: &Args) -> Result<(), ArgError> {
     let from: f64 = args.get_parsed("from", 1.0)?;
     let to: f64 = args.get_parsed("to", 30.0)?;
     if !(from.is_finite() && to.is_finite() && from <= to) {
-        return Err(ArgError("--from must be <= --to".into()));
+        return Err(PmError::Usage("--from must be <= --to".into()));
     }
     let default_step = ((to - from) / 14.0).max(if param == "cpu-ms" { 0.05 } else { 1.0 });
     let step: f64 = args.get_parsed("step", default_step)?;
     if step <= 0.0 {
-        return Err(ArgError("--step must be positive".into()));
+        return Err(PmError::Usage("--step must be positive".into()));
     }
     let (base, trials) = scenario(args)?;
 
@@ -318,16 +304,17 @@ pub fn sweep(args: &Args) -> Result<(), ArgError> {
                 };
                 // Re-derive the default cache unless pinned explicitly.
                 if args.get("cache").is_none() {
-                    cfg.cache_blocks = default_cache_blocks(cfg.runs, cfg.strategy);
+                    cfg.cache_blocks =
+                        ScenarioBuilder::default_cache_blocks(cfg.runs, cfg.strategy);
                 }
             }
             "cache" => cfg.cache_blocks = x as u32,
             "cpu-ms" => cfg.cpu_per_block = SimDuration::from_millis_f64(x),
             "disks" => cfg.disks = x as u32,
-            other => return Err(ArgError(format!("cannot sweep '{other}'"))),
+            other => return Err(PmError::Usage(format!("cannot sweep '{other}'"))),
         }
-        cfg.validate().map_err(|e| ArgError(format!("at {param}={x}: {e}")))?;
-        let summary = run_trials(&cfg, trials).map_err(|e| ArgError(e.to_string()))?;
+        cfg.validate().map_err(|e| PmError::Usage(format!("at {param}={x}: {e}")))?;
+        let summary = run_trials(&cfg, trials)?;
         points.push((x, summary.mean_total_secs, summary.mean_success_ratio));
         x += step;
     }
@@ -351,11 +338,11 @@ pub fn sweep(args: &Args) -> Result<(), ArgError> {
 
 
 /// `pmerge batch <file>`
-pub fn run_batch(args: &Args) -> Result<(), ArgError> {
+pub fn run_batch(args: &Args) -> Result<(), PmError> {
     args.check_known(&["file", "trials", "seed"])?;
     let path = args.require("file")?;
     let contents = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read '{path}': {e}")))?;
+        .map_err(|e| PmError::io(format!("cannot read '{path}'"), e))?;
     let lines = batch::parse_batch(&contents)?;
     let default_trials: u32 = args.get_parsed("trials", 5)?;
     let default_seed: u64 = args.get_parsed("seed", 1992)?;
@@ -389,8 +376,8 @@ pub fn run_batch(args: &Args) -> Result<(), ArgError> {
             })?;
         }
         let (cfg, trials) = scenario(&largs)
-            .map_err(|e| ArgError(format!("scenario '{}': {e}", line.name)))?;
-        let summary = run_trials(&cfg, trials).map_err(|e| ArgError(e.to_string()))?;
+            .map_err(|e| PmError::Usage(format!("scenario '{}': {e}", line.name)))?;
+        let summary = run_trials(&cfg, trials)?;
         table.add_row(vec![
             line.name,
             format!("{:.1}", summary.mean_total_secs),
@@ -406,12 +393,12 @@ pub fn run_batch(args: &Args) -> Result<(), ArgError> {
 }
 
 /// Parses the validate-only options into a [`SuiteOptions`].
-fn validate_options(args: &Args) -> Result<SuiteOptions, ArgError> {
+fn validate_options(args: &Args) -> Result<SuiteOptions, PmError> {
     let trials = match args.get("trials").unwrap_or("auto") {
         "auto" => {
             let rel_ci: f64 = args.get_parsed("rel-ci", 0.02)?;
             if !(rel_ci.is_finite() && rel_ci > 0.0) {
-                return Err(ArgError("--rel-ci must be positive".into()));
+                return Err(PmError::Usage("--rel-ci must be positive".into()));
             }
             TrialsMode::Auto(ConvergencePolicy {
                 rel_ci,
@@ -422,7 +409,7 @@ fn validate_options(args: &Args) -> Result<SuiteOptions, ArgError> {
         }
         t => TrialsMode::Fixed(
             t.parse()
-                .map_err(|_| ArgError(format!("--trials must be a count or 'auto', got '{t}'")))?,
+                .map_err(|_| PmError::Usage(format!("--trials must be a count or 'auto', got '{t}'")))?,
         ),
     };
     let defaults = TolerancePolicy::default();
@@ -445,13 +432,13 @@ fn validate_options(args: &Args) -> Result<SuiteOptions, ArgError> {
 ///
 /// Runs the standing validation suite (T1/T2 tables plus the Fig. 3.2
 /// curves) and checks every point against the paper's closed forms.
-/// Returns `Ok(true)` when every residual check passed; `main` maps
-/// `Ok(false)` to exit status 1.
-pub fn validate(args: &Args) -> Result<bool, ArgError> {
+/// A breached residual returns [`PmError::Tolerance`], which `main`
+/// maps to exit status 1 (usage and I/O failures exit 2).
+pub fn validate(args: &Args) -> Result<(), PmError> {
     args.check_known(&[
-        "quick", "html", "manifest", "trials", "rel-ci", "min-trials", "max-trials", "jobs",
-        "seed", "trace", "record-env", "progress", "tol-eq", "tol-striped", "tol-bound",
-        "tol-conc",
+        "quick", "html", "manifest", "manifest-out", "trials", "rel-ci", "min-trials",
+        "max-trials", "jobs", "seed", "trace", "record-env", "progress", "tol-eq",
+        "tol-striped", "tol-bound", "tol-conc",
     ])?;
     let opts = validate_options(args)?;
     let points = validation_points(opts.master_seed, args.flag("quick"));
@@ -463,8 +450,7 @@ pub fn validate(args: &Args) -> Result<bool, ArgError> {
         Box::new(NullProgress)
     };
     let started = std::time::Instant::now();
-    let records =
-        run_suite(&points, &opts, progress.as_ref()).map_err(|e| ArgError(e.to_string()))?;
+    let records = run_suite(&points, &opts, progress.as_ref())?;
     let wall_secs = started.elapsed().as_secs_f64();
 
     let mut table = Table::new(vec![
@@ -530,41 +516,48 @@ pub fn validate(args: &Args) -> Result<bool, ArgError> {
         println!("  BREACH: {b}");
     }
 
-    if let Some(path) = args.get("manifest") {
+    if let Some(path) = args.get("manifest-out").or_else(|| args.get("manifest")) {
         let mut out = render_manifest(&records);
         if args.flag("record-env") {
             out.push_str(&env_record_line(opts.jobs, wall_secs));
             out.push('\n');
         }
-        std::fs::write(path, out).map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        std::fs::write(path, out).map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
         println!("wrote {path}");
     }
     if let Some(path) = args.get("html") {
         std::fs::write(path, render_report(&records))
-            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+            .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
         println!("wrote {path}");
     }
-    Ok(breaches.is_empty())
+    if breaches.is_empty() {
+        Ok(())
+    } else {
+        Err(PmError::Tolerance(format!(
+            "{} residual check(s) failed",
+            breaches.len()
+        )))
+    }
 }
 
 /// `pmerge report`
 ///
 /// Re-renders the HTML validation report from a saved manifest, so a
 /// long suite run never needs repeating just to regenerate its report.
-pub fn report(args: &Args) -> Result<(), ArgError> {
+pub fn report(args: &Args) -> Result<(), PmError> {
     args.check_known(&["from", "html"])?;
     let path = args.require("from")?;
     let contents = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read '{path}': {e}")))?;
-    let records = parse_manifest(&contents).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        .map_err(|e| PmError::io(format!("cannot read '{path}'"), e))?;
+    let records = parse_manifest(&contents).map_err(|e| PmError::Usage(format!("{path}: {e}")))?;
     if records.is_empty() {
-        return Err(ArgError(format!("'{path}' contains no manifest records")));
+        return Err(PmError::Usage(format!("'{path}' contains no manifest records")));
     }
     let html = render_report(&records);
     match args.get("html") {
         Some(out) => {
             std::fs::write(out, &html)
-                .map_err(|e| ArgError(format!("cannot write '{out}': {e}")))?;
+                .map_err(|e| PmError::io(format!("cannot write '{out}'"), e))?;
             println!("wrote {out} ({} records)", records.len());
         }
         // Bare stream to stdout so it can be piped or redirected.
@@ -686,7 +679,7 @@ mod tests {
         let _ = std::fs::remove_file(path);
 
         let err = trace(&args(&["trace", "--trace-format", "bogus"])).unwrap_err();
-        assert!(err.0.contains("unknown trace format"));
+        assert!(err.to_string().contains("unknown trace format"));
         assert!(trace(&args(&["trace", "--trace-outt", "x"])).is_err());
     }
 
@@ -749,7 +742,7 @@ mod tests {
 ").unwrap();
         let a = args(&["batch", "--file", path.to_str().unwrap()]);
         let err = run_batch(&a).unwrap_err();
-        assert!(err.0.contains("broken"));
+        assert!(err.to_string().contains("broken"));
         let _ = std::fs::remove_file(path);
     }
 
@@ -794,8 +787,7 @@ mod tests {
     fn report_round_trips_a_manifest() {
         // validate is too slow for a unit test; render a manifest from the
         // library's suite driver on a tiny point instead.
-        let mut cfg = MergeConfig::paper_intra(4, 2, 5);
-        cfg.run_blocks = 40;
+        let cfg = ScenarioBuilder::new(4, 2).intra(5).run_blocks(40).build().unwrap();
         let points = vec![pm_obs::PointSpec {
             kind: pm_obs::RecordKind::T1Case,
             label: "tiny".into(),

@@ -1,0 +1,415 @@
+//! `pmerge exec` — end-to-end external sort on the real-I/O engine.
+//!
+//! Generates records, forms sorted runs (the pm-extsort run-formation
+//! pass), then merges them through [`pm_engine::MergeEngine`] against a
+//! pluggable [`BlockDevice`] backend:
+//!
+//! - `mem`     — in-memory golden reference
+//! - `file`    — one file per simulated disk, real positioned reads
+//! - `latency` — deterministic per-request delays from the pm-disk
+//!   service model, for sim-vs-engine cross-validation
+//!
+//! Every run is verified against the in-memory reference (key order plus
+//! multiset equality with the input) and cross-checked against the
+//! discrete-event simulator: replaying the engine's depletion sequence
+//! must re-derive the exact per-disk request sequences, and on the
+//! latency backend the modeled per-disk busy time must match the
+//! simulator's prediction within `--tol-exec`. A failed check exits 1
+//! ([`PmError::Tolerance`]); usage errors exit 2.
+
+use std::sync::Arc;
+
+use pm_core::{PmError, PrefetchStrategy, ScenarioBuilder, SyncMode};
+use pm_engine::{
+    disk_seed_for, ExecConfig, ExecOutcome, FileDevice, LatencyDevice, MemoryDevice, MergeEngine,
+    RECORD_BYTES,
+};
+use pm_extsort::{generate, run_formation, Record};
+use pm_obs::{
+    Bound, DiskRollup, ManifestRecord, PointMetrics, RecordKind, ResidualCheck, TraceRollup,
+    SCHEMA_VERSION,
+};
+use pm_report::{Align, Table};
+use pm_trace::{export, TraceMetrics};
+use pm_workload::spec::ScenarioSpec;
+
+use crate::args::Args;
+
+/// Flags `exec` accepts (see the usage text for semantics).
+const EXEC_KEYS: &[&str] = &[
+    // Workload and run formation.
+    "records", "memory", "formation", "rpb",
+    // Scenario (run count comes from formation, not --runs).
+    "disks", "strategy", "n", "cache", "sync", "admission", "choice", "cap", "layout", "seed",
+    // Execution.
+    "backend", "dir", "jobs", "queue", "time-scale",
+    // Outputs and checks.
+    "out", "trace-out", "trace-format", "manifest-out", "tol-exec",
+];
+
+/// Which device backs the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Memory,
+    File,
+    Latency,
+}
+
+impl Backend {
+    fn parse(s: &str) -> Result<Self, PmError> {
+        match s {
+            "mem" | "memory" => Ok(Backend::Memory),
+            "file" => Ok(Backend::File),
+            "latency" => Ok(Backend::Latency),
+            other => Err(PmError::Usage(format!(
+                "unknown backend '{other}' (mem | file | latency)"
+            ))),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Backend::Memory => "mem",
+            Backend::File => "file",
+            Backend::Latency => "latency",
+        }
+    }
+}
+
+/// `pmerge exec`
+pub fn exec(args: &Args) -> Result<(), PmError> {
+    args.check_known(EXEC_KEYS)?;
+    let backend = Backend::parse(args.get("backend").unwrap_or("mem"))?;
+    let records: usize = args.get_parsed("records", 50_000usize)?;
+    let memory: usize = args.get_parsed("memory", 5_000usize)?;
+    if records == 0 || memory == 0 {
+        return Err(PmError::Usage("--records and --memory must be positive".into()));
+    }
+    let rpb: u32 = args.get_parsed("rpb", 40u32)?;
+    let seed: u64 = args.get_parsed("seed", 1992)?;
+    let tol_exec: f64 = args.get_parsed("tol-exec", 0.02)?;
+    if !(tol_exec.is_finite() && tol_exec > 0.0) {
+        return Err(PmError::Usage("--tol-exec must be positive".into()));
+    }
+
+    // Phase 1: run formation (the sort's first pass).
+    let input = generate::uniform(records, seed);
+    let runs = match args.get("formation").unwrap_or("load-sort") {
+        "load-sort" => run_formation::load_sort(&input, memory),
+        "replacement" => run_formation::replacement_selection(&input, memory),
+        other => {
+            return Err(PmError::Usage(format!(
+                "unknown formation '{other}' (load-sort | replacement)"
+            )))
+        }
+    };
+
+    // Phase 2: plan the merge. The run count comes from the data.
+    let cfg = scenario_for(args, runs.len() as u32, seed)?;
+    let mut exec_cfg = ExecConfig::new(cfg);
+    exec_cfg.records_per_block = rpb;
+    exec_cfg.queue_capacity = args.get_parsed("queue", 64usize)?;
+    exec_cfg.jobs = args.get_parsed("jobs", 0usize)?;
+    exec_cfg.time_scale = args.get_parsed("time-scale", 1.0f64)?;
+    let engine = MergeEngine::new(exec_cfg, runs.iter().map(Vec::len).collect())?;
+    let cfg = *engine.merge_config();
+    println!(
+        "formed {} runs from {} records ({} per block); merging on {} disks, {} {} (N={}), cache {} blocks, {} backend",
+        runs.len(),
+        records,
+        rpb,
+        cfg.disks,
+        cfg.strategy.label(),
+        cfg.sync.label(),
+        cfg.strategy.depth(),
+        cfg.cache_blocks,
+        backend.label(),
+    );
+
+    // Phase 3: execute against the chosen device.
+    let disks = cfg.disks as usize;
+    let outcome = match backend {
+        Backend::Memory => {
+            let mut dev = MemoryDevice::new(disks, engine.block_bytes());
+            engine.load(&mut dev, &runs)?;
+            engine.execute(Arc::new(dev))?
+        }
+        Backend::File => {
+            let dir = match args.get("dir") {
+                Some(d) => std::path::PathBuf::from(d),
+                None => std::env::temp_dir().join(format!("pmerge-exec-{}", std::process::id())),
+            };
+            let mut dev = FileDevice::create(&dir, disks, engine.block_bytes())
+                .map_err(|e| PmError::io(format!("cannot create '{}'", dir.display()), e))?;
+            engine.load(&mut dev, &runs)?;
+            let outcome = engine.execute(Arc::new(dev))?;
+            println!("device files under {}", dir.display());
+            if args.get("dir").is_none() {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            outcome
+        }
+        Backend::Latency => {
+            let mut inner = MemoryDevice::new(disks, engine.block_bytes());
+            engine.load(&mut inner, &runs)?;
+            let dev = LatencyDevice::new(
+                inner,
+                disks,
+                cfg.disk_spec,
+                cfg.discipline,
+                disk_seed_for(&cfg),
+            );
+            engine.execute(Arc::new(dev))?
+        }
+    };
+
+    // Phase 4: verify against the in-memory reference.
+    verify_output(&outcome, &input)?;
+    println!(
+        "verified: {} records merged in key order, multiset-identical to the input",
+        outcome.output.len()
+    );
+
+    // Phase 5: cross-check against the discrete-event simulator.
+    let prediction = engine.predict(&outcome.depletion)?;
+    if outcome.requests != prediction.requests {
+        return Err(PmError::Tolerance(
+            "engine request sequences diverged from the simulator's replay".into(),
+        ));
+    }
+    println!(
+        "sim cross-check: simulator re-derives all {} per-disk requests exactly",
+        outcome.report.per_disk_requests.iter().sum::<u64>()
+    );
+    let residual = (backend == Backend::Latency).then(|| {
+        let predicted: f64 = prediction
+            .report
+            .per_disk_busy
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum();
+        let measured: f64 = outcome
+            .report
+            .per_disk_modeled_busy
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum();
+        ResidualCheck::evaluate("engine-read-time", predicted, measured, tol_exec, Bound::TwoSided)
+    });
+
+    print_report(&outcome, &prediction.report);
+    if let Some(r) = &residual {
+        println!(
+            "latency model: measured busy {:.3}s vs predicted {:.3}s (ratio {:.4}) -> {}",
+            r.predicted * r.ratio,
+            r.predicted,
+            r.ratio,
+            if r.pass { "pass" } else { "FAIL" },
+        );
+    }
+
+    // Phase 6: exports.
+    if let Some(path) = args.get("out") {
+        write_output(path, &outcome.output)?;
+        println!("wrote {path} ({} records)", outcome.output.len());
+    }
+    if let Some(path) = args.get("trace-out") {
+        let rendered = match args.get("trace-format").unwrap_or("chrome") {
+            "chrome" => export::chrome_trace_json(&outcome.events),
+            "csv" => export::csv(&outcome.events),
+            "gantt" => export::gantt(&outcome.events, &export::GanttOptions::default()),
+            other => {
+                return Err(PmError::Usage(format!(
+                    "unknown trace format '{other}' (chrome | csv | gantt)"
+                )))
+            }
+        };
+        std::fs::write(path, rendered)
+            .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.get("manifest-out") {
+        let record = manifest_record(backend, &engine, &outcome, &prediction.report, &residual);
+        let mut line = record.to_json_line();
+        line.push('\n');
+        std::fs::write(path, line)
+            .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
+        println!("wrote {path}");
+    }
+
+    match residual {
+        Some(r) if !r.pass => Err(PmError::Tolerance(format!(
+            "engine read time off the simulator's prediction by {:.1}% (tolerance {:.1}%)",
+            (r.ratio - 1.0).abs() * 100.0,
+            tol_exec * 100.0,
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Builds the merge scenario for `exec`: the shared scenario flags, with
+/// the run count fixed by run formation rather than `--runs`.
+fn scenario_for(args: &Args, runs: u32, seed: u64) -> Result<pm_core::MergeConfig, PmError> {
+    let n: u32 = args.get_parsed("n", 4)?;
+    let strategy = match args.get("strategy").unwrap_or("inter") {
+        "none" => PrefetchStrategy::None,
+        "intra" => PrefetchStrategy::IntraRun { n },
+        "inter" => PrefetchStrategy::InterRun { n },
+        "adaptive" => PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: n },
+        other => return Err(PmError::Usage(format!("unknown strategy '{other}'"))),
+    };
+    let admission = match args.get("admission").unwrap_or("all-or-nothing") {
+        "all-or-nothing" | "aon" => pm_core::AdmissionPolicy::AllOrNothing,
+        "greedy" => pm_core::AdmissionPolicy::Greedy,
+        other => return Err(PmError::Usage(format!("unknown admission policy '{other}'"))),
+    };
+    let choice = match args.get("choice").unwrap_or("random") {
+        "random" => pm_core::PrefetchChoice::Random,
+        "least-held" => pm_core::PrefetchChoice::LeastHeld,
+        "head-proximity" => pm_core::PrefetchChoice::HeadProximity,
+        other => return Err(PmError::Usage(format!("unknown prefetch choice '{other}'"))),
+    };
+    let layout = match args.get("layout").unwrap_or("concatenated") {
+        "concatenated" | "concat" => pm_core::DataLayout::Concatenated,
+        "striped" => pm_core::DataLayout::Striped,
+        other => return Err(PmError::Usage(format!("unknown layout '{other}'"))),
+    };
+    let cap: u32 = args.get_parsed("cap", 0)?;
+    let mut builder = ScenarioBuilder::new(runs, args.get_parsed("disks", 2)?)
+        .strategy(strategy)
+        .sync_mode(if args.flag("sync") {
+            SyncMode::Synchronized
+        } else {
+            SyncMode::Unsynchronized
+        })
+        .admission(admission)
+        .prefetch_choice(choice)
+        .layout(layout)
+        .per_run_cap((cap > 0).then_some(cap))
+        .seed(seed);
+    if args.get("cache").is_some() {
+        builder = builder.cache_blocks(args.get_parsed("cache", 0)?);
+    }
+    builder.build()
+}
+
+/// The merged output must be in key order and contain exactly the input
+/// records.
+fn verify_output(outcome: &ExecOutcome, input: &[Record]) -> Result<(), PmError> {
+    if !outcome.output.windows(2).all(|w| w[0].key <= w[1].key) {
+        return Err(PmError::Tolerance("merged output is out of key order".into()));
+    }
+    let mut got: Vec<Record> = outcome.output.clone();
+    got.sort_by_key(|r| (r.key, r.rid));
+    let mut want: Vec<Record> = input.to_vec();
+    want.sort_by_key(|r| (r.key, r.rid));
+    if got != want {
+        return Err(PmError::Tolerance(
+            "merged output is not the input multiset".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn print_report(outcome: &ExecOutcome, sim: &pm_core::MergeReport) {
+    let r = &outcome.report;
+    println!(
+        "\nmerge wall time   {:.3} s ({:.3} s stalled on I/O)",
+        r.wall.as_secs_f64(),
+        r.stall.as_secs_f64()
+    );
+    println!(
+        "blocks merged     {} ({} records), sim-predicted read phase {:.3} s",
+        r.blocks_merged,
+        r.records_merged,
+        sim.total.as_secs_f64()
+    );
+    println!(
+        "operations        {} demand, {} fallback, {} full prefetch",
+        r.demand_ops, r.fallback_ops, r.full_prefetch_ops
+    );
+    if let Some(ratio) = r.success_ratio {
+        println!("success ratio     {ratio:.3}");
+    }
+    let mut t = Table::new(vec![
+        "disk".into(),
+        "requests".into(),
+        "sequential".into(),
+        "modeled busy (s)".into(),
+    ]);
+    for i in 1..4 {
+        t.set_align(i, Align::Right);
+    }
+    for d in 0..r.per_disk_requests.len() {
+        t.add_row(vec![
+            format!("input {d}"),
+            r.per_disk_requests[d].to_string(),
+            r.per_disk_sequential[d].to_string(),
+            format!("{:.3}", r.per_disk_modeled_busy[d].as_secs_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Writes the merged records as packed little-endian (key, rid) pairs.
+fn write_output(path: &str, output: &[Record]) -> Result<(), PmError> {
+    let mut bytes = Vec::with_capacity(output.len() * RECORD_BYTES);
+    for r in output {
+        bytes.extend_from_slice(&r.key.to_le_bytes());
+        bytes.extend_from_slice(&r.rid.to_le_bytes());
+    }
+    std::fs::write(path, bytes).map_err(|e| PmError::io(format!("cannot write '{path}'"), e))
+}
+
+/// Builds the `kind: "exec"` manifest record for this execution.
+fn manifest_record(
+    backend: Backend,
+    engine: &MergeEngine,
+    outcome: &ExecOutcome,
+    sim: &pm_core::MergeReport,
+    residual: &Option<ResidualCheck>,
+) -> ManifestRecord {
+    let cfg = engine.merge_config();
+    let r = &outcome.report;
+    let m = TraceMetrics::from_events(&outcome.events);
+    let span_ns = m.span_end.as_nanos() as f64;
+    let disks = m
+        .input_disks
+        .iter()
+        .map(|lane| DiskRollup {
+            utilization: lane.utilization(m.span_end),
+            requests: lane.requests,
+            sequential: lane.sequential,
+            avg_queue_depth: lane.queue_depth.average_until(span_ns).unwrap_or(0.0),
+        })
+        .collect();
+    ManifestRecord {
+        schema: SCHEMA_VERSION,
+        kind: RecordKind::EngineExec,
+        label: format!(
+            "exec: {} backend, k={}, D={}, {}",
+            backend.label(),
+            cfg.runs,
+            cfg.disks,
+            cfg.strategy.label(),
+        ),
+        sweep: None,
+        x: None,
+        x_label: None,
+        scenario: ScenarioSpec::from_config(format!("exec-{}", backend.label()), cfg),
+        master_seed: cfg.seed,
+        trials: 1,
+        auto: None,
+        metrics: PointMetrics {
+            mean_total_secs: r.wall.as_secs_f64(),
+            ci_half_width_secs: 0.0,
+            confidence: 0.95,
+            mean_concurrency: sim.avg_concurrency,
+            mean_busy_disks: sim.avg_busy_disks,
+            mean_success_ratio: r.success_ratio,
+            blocks_merged: r.blocks_merged,
+        },
+        analytic: residual.clone(),
+        trace: Some(TraceRollup { disks }),
+    }
+}

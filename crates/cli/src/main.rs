@@ -10,8 +10,10 @@
 mod args;
 mod batch;
 mod commands;
+mod exec;
 
 use args::Args;
+use pm_core::PmError;
 
 const USAGE: &str = "\
 pmerge — multi-disk prefetching simulator for external mergesort
@@ -33,6 +35,10 @@ COMMANDS:
                residual-tolerance breach
     report     Re-render the HTML validation report from a saved
                manifest (--from) without re-running the suite
+    exec       Run a real external sort end-to-end on the execution
+               engine: generate records, form runs, merge them against
+               a pluggable block-device backend, verify the output, and
+               cross-check the engine against the simulator
 
 SCENARIO OPTIONS (simulate, sweep):
     --runs <k>          number of sorted runs            [default: 25]
@@ -70,8 +76,8 @@ ANALYZE OPTIONS:
 VALIDATE OPTIONS:
     --quick             thin the sweep curves (~3x fewer points)
     --html <path>       write the self-contained HTML report here
-    --manifest <path>   write the JSONL run manifest here (byte-identical
-                        for every --jobs value)
+    --manifest-out <p>  write the JSONL run manifest here (byte-identical
+                        for every --jobs value; --manifest is an alias)
     --trials <t|auto>   fixed trial count, or adaptive convergence
                         [default: auto]
     --rel-ci <f>        auto: stop once the 95% CI half-width is within
@@ -89,8 +95,28 @@ VALIDATE OPTIONS:
     --tol-conc <f>      one-sided slack, urn concurrency [default: 0.10]
 
 REPORT OPTIONS:
-    --from <path>       manifest JSONL written by 'validate --manifest'
+    --from <path>       manifest JSONL written by 'validate --manifest-out'
     --html <path>       output file; omitted = stream HTML to stdout
+
+EXEC OPTIONS (strategy flags as above; the run count comes from run
+formation, so --runs/--blocks/--trials do not apply):
+    --backend <b>       mem | file | latency             [default: mem]
+    --dir <path>        file backend: device directory (kept); default
+                        is a temp directory removed afterwards
+    --records <n>       records to generate and sort     [default: 50000]
+    --memory <m>        run-formation memory, in records [default: 5000]
+    --formation <f>     load-sort | replacement          [default: load-sort]
+    --rpb <r>           records per on-device block      [default: 40]
+    --jobs <j>          I/O worker threads (0 = one per disk) [default: 0]
+    --queue <q>         per-worker request-queue depth   [default: 64]
+    --time-scale <f>    latency backend: wall-clock seconds per modeled
+                        second (small values replay fast) [default: 1.0]
+    --out <path>        write the merged records (16-byte LE pairs)
+    --trace-out <path>  export the engine's event stream
+    --trace-format <f>  chrome | csv | gantt             [default: chrome]
+    --manifest-out <p>  write a one-record JSONL manifest (kind \"exec\")
+    --tol-exec <f>      latency backend: two-sided tolerance on modeled
+                        read time vs the simulator       [default: 0.02]
 ";
 
 fn main() {
@@ -107,25 +133,22 @@ fn main() {
         Some("sweep") => commands::sweep(&args),
         Some("batch") => commands::run_batch(&args),
         Some("trace") => commands::trace(&args),
-        // validate distinguishes "ran fine but a residual breached its
-        // tolerance" (exit 1) from usage errors (exit 2).
-        Some("validate") => match commands::validate(&args) {
-            Ok(true) => Ok(()),
-            Ok(false) => {
-                eprintln!("validation FAILED: residual tolerance breached");
-                std::process::exit(1);
-            }
-            Err(e) => Err(e),
-        },
+        Some("validate") => commands::validate(&args),
         Some("report") => commands::report(&args),
+        Some("exec") => exec::exec(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
+        Some(other) => Err(PmError::Usage(format!("unknown command '{other}'"))),
     };
+    // PmError pins the exit status: 1 for a tolerance breach (the run
+    // completed but failed validation), 2 for usage/config/I-O errors.
     if let Err(e) = result {
-        eprintln!("error: {e}\n\nrun 'pmerge help' for usage");
-        std::process::exit(2);
+        eprintln!("error: {e}");
+        if e.exit_code() == 2 {
+            eprintln!("\nrun 'pmerge help' for usage");
+        }
+        std::process::exit(e.exit_code());
     }
 }

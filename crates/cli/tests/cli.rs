@@ -102,6 +102,48 @@ fn striped_layout_flag_works() {
 }
 
 #[test]
+fn exec_memory_backend_end_to_end() {
+    let (ok, stdout, stderr) = pmerge(&[
+        "exec", "--records", "4000", "--memory", "800", "--disks", "2", "--n", "2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("verified: 4000 records"));
+    assert!(stdout.contains("sim cross-check"));
+}
+
+#[test]
+fn exec_file_backend_end_to_end() {
+    let (ok, stdout, stderr) = pmerge(&[
+        "exec", "--backend", "file", "--records", "4000", "--memory", "800", "--disks", "2",
+        "--n", "2", "--jobs", "2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("verified: 4000 records"));
+}
+
+#[test]
+fn exec_latency_backend_cross_checks_and_writes_manifest() {
+    let manifest = std::env::temp_dir().join("pmerge-e2e-exec.jsonl");
+    let m = manifest.to_str().unwrap().to_string();
+    let (ok, stdout, stderr) = pmerge(&[
+        "exec", "--backend", "latency", "--records", "4000", "--memory", "800", "--disks", "2",
+        "--n", "2", "--time-scale", "0.0005", "--manifest-out", &m,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("ratio 1.0000) -> pass"), "{stdout}");
+    let contents = std::fs::read_to_string(&manifest).unwrap();
+    assert!(contents.contains("\"kind\":\"exec\""));
+    let _ = std::fs::remove_file(manifest);
+}
+
+#[test]
+fn exec_rejects_unknown_backend() {
+    let (ok, _, stderr) = pmerge(&["exec", "--backend", "tape"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown backend"));
+}
+
+#[test]
 fn batch_command_end_to_end() {
     let path = std::env::temp_dir().join("pmerge-e2e-batch.txt");
     std::fs::write(

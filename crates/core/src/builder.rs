@@ -1,0 +1,300 @@
+//! [`ScenarioBuilder`] — the one way to construct a merge scenario.
+//!
+//! The workspace grew three `MergeConfig::paper_*` constructors plus a
+//! scattering of hand-rolled struct literals, each re-deriving the
+//! paper's defaults (1000-block runs, unsynchronized operation, FIFO
+//! queues, the paper's disk) and its depth-aware cache sizing
+//! (`k·N` frames, quadrupled for inter-run prefetch so prefetch targets
+//! have room beyond the initial load). The builder centralizes those
+//! defaults: start from [`ScenarioBuilder::new`], override what the
+//! scenario varies, and [`ScenarioBuilder::build`] fills in the
+//! cache default and validates.
+//!
+//! ```
+//! use pm_core::{PrefetchStrategy, ScenarioBuilder};
+//!
+//! let cfg = ScenarioBuilder::new(25, 5).inter(10).build().unwrap();
+//! assert_eq!(cfg.strategy, PrefetchStrategy::InterRun { n: 10 });
+//! assert_eq!(cfg.cache_blocks, 4 * 25 * 10); // depth-aware default
+//! ```
+
+use pm_cache::AdmissionPolicy;
+use pm_disk::{DiskSpec, QueueDiscipline};
+use pm_sim::SimDuration;
+
+use crate::config::{DataLayout, MergeConfig};
+use crate::error::PmError;
+use crate::prefetch::PrefetchChoice;
+use crate::strategy::{PrefetchStrategy, SyncMode};
+use crate::write::WriteSpec;
+
+/// Fluent constructor for [`MergeConfig`].
+///
+/// Unset fields take the paper's defaults; an unset cache capacity takes
+/// the depth-aware default of [`ScenarioBuilder::default_cache_blocks`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioBuilder {
+    cfg: MergeConfig,
+    cache: Option<u32>,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario with `runs` sorted runs over `disks` input
+    /// disks and the paper's defaults everywhere else: 1000-block runs,
+    /// no prefetching, unsynchronized operation, zero-cost CPU,
+    /// all-or-nothing admission, random prefetch choice, FIFO queues,
+    /// concatenated placement on the paper's disk, seed 0.
+    #[must_use]
+    pub fn new(runs: u32, disks: u32) -> Self {
+        ScenarioBuilder {
+            cfg: MergeConfig {
+                runs,
+                run_blocks: 1000,
+                disks,
+                layout: DataLayout::Concatenated,
+                strategy: PrefetchStrategy::None,
+                sync: SyncMode::Unsynchronized,
+                cache_blocks: 0,
+                cpu_per_block: SimDuration::ZERO,
+                admission: AdmissionPolicy::AllOrNothing,
+                prefetch_choice: PrefetchChoice::Random,
+                per_run_cap: None,
+                discipline: QueueDiscipline::Fifo,
+                disk_spec: DiskSpec::paper(),
+                write: None,
+                seed: 0,
+            },
+            cache: None,
+        }
+    }
+
+    /// The depth-aware cache default: `runs · depth` frames — exactly
+    /// the initial load — quadrupled for inter-run strategies so
+    /// prefetch operations have free frames to win.
+    #[must_use]
+    pub fn default_cache_blocks(runs: u32, strategy: PrefetchStrategy) -> u32 {
+        let base = runs * strategy.depth();
+        if strategy.is_inter_run() {
+            base * 4
+        } else {
+            base
+        }
+    }
+
+    /// Sets the number of blocks in every run.
+    #[must_use]
+    pub fn run_blocks(mut self, blocks: u32) -> Self {
+        self.cfg.run_blocks = blocks;
+        self
+    }
+
+    /// Sets the prefetch strategy directly.
+    #[must_use]
+    pub fn strategy(mut self, strategy: PrefetchStrategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Demand paging only (the default).
+    #[must_use]
+    pub fn no_prefetch(self) -> Self {
+        self.strategy(PrefetchStrategy::None)
+    }
+
+    /// Intra-run prefetching with depth `n`.
+    #[must_use]
+    pub fn intra(self, n: u32) -> Self {
+        self.strategy(PrefetchStrategy::IntraRun { n })
+    }
+
+    /// Inter-run prefetching with depth `n`.
+    #[must_use]
+    pub fn inter(self, n: u32) -> Self {
+        self.strategy(PrefetchStrategy::InterRun { n })
+    }
+
+    /// Adaptive inter-run prefetching with AIMD depth in
+    /// `[n_min, n_max]`.
+    #[must_use]
+    pub fn adaptive(self, n_min: u32, n_max: u32) -> Self {
+        self.strategy(PrefetchStrategy::InterRunAdaptive { n_min, n_max })
+    }
+
+    /// Sets the synchronization mode.
+    #[must_use]
+    pub fn sync_mode(mut self, sync: SyncMode) -> Self {
+        self.cfg.sync = sync;
+        self
+    }
+
+    /// Synchronized operation (the default is unsynchronized).
+    #[must_use]
+    pub fn synchronized(self) -> Self {
+        self.sync_mode(SyncMode::Synchronized)
+    }
+
+    /// Sets the cache capacity in blocks, overriding the depth-aware
+    /// default.
+    #[must_use]
+    pub fn cache_blocks(mut self, blocks: u32) -> Self {
+        self.cache = Some(blocks);
+        self
+    }
+
+    /// Sets the CPU time to merge one block (zero = infinitely fast).
+    #[must_use]
+    pub fn cpu_per_block(mut self, cost: SimDuration) -> Self {
+        self.cfg.cpu_per_block = cost;
+        self
+    }
+
+    /// Sets the prefetch admission policy.
+    #[must_use]
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.cfg.admission = policy;
+        self
+    }
+
+    /// Sets how inter-run prefetch targets are chosen per disk.
+    #[must_use]
+    pub fn prefetch_choice(mut self, choice: PrefetchChoice) -> Self {
+        self.cfg.prefetch_choice = choice;
+        self
+    }
+
+    /// Caps the held blocks of a run for it to remain a prefetch target
+    /// (`None` = uncapped).
+    #[must_use]
+    pub fn per_run_cap(mut self, cap: Option<u32>) -> Self {
+        self.cfg.per_run_cap = cap;
+        self
+    }
+
+    /// Sets the per-disk queue discipline.
+    #[must_use]
+    pub fn discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.cfg.discipline = discipline;
+        self
+    }
+
+    /// Sets the disk model.
+    #[must_use]
+    pub fn disk_spec(mut self, spec: DiskSpec) -> Self {
+        self.cfg.disk_spec = spec;
+        self
+    }
+
+    /// Sets the data layout (concatenated or striped).
+    #[must_use]
+    pub fn layout(mut self, layout: DataLayout) -> Self {
+        self.cfg.layout = layout;
+        self
+    }
+
+    /// Models output traffic on dedicated write disks.
+    #[must_use]
+    pub fn write(mut self, spec: Option<WriteSpec>) -> Self {
+        self.cfg.write = spec;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Finalizes the scenario: applies the depth-aware cache default if
+    /// no capacity was set, then validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::Config`] if the resulting configuration is
+    /// inconsistent.
+    pub fn build(self) -> Result<MergeConfig, PmError> {
+        let mut cfg = self.cfg;
+        cfg.cache_blocks = self
+            .cache
+            .unwrap_or_else(|| Self::default_cache_blocks(cfg.runs, cfg.strategy));
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deprecated `paper_*` constructors must stay byte-for-byte
+    /// equivalent to their builder spellings until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn builder_pins_deprecated_constructor_equivalence() {
+        for (k, d) in [(25, 5), (50, 10), (4, 2)] {
+            assert_eq!(
+                ScenarioBuilder::new(k, d).build().unwrap(),
+                MergeConfig::paper_no_prefetch(k, d),
+            );
+            for n in [1, 5, 30] {
+                assert_eq!(
+                    ScenarioBuilder::new(k, d).intra(n).build().unwrap(),
+                    MergeConfig::paper_intra(k, d, n),
+                );
+                let cache = 4 * k * n;
+                assert_eq!(
+                    ScenarioBuilder::new(k, d)
+                        .inter(n)
+                        .cache_blocks(cache)
+                        .build()
+                        .unwrap(),
+                    MergeConfig::paper_inter(k, d, n, cache),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inter_default_cache_is_quadrupled() {
+        let cfg = ScenarioBuilder::new(25, 5).inter(10).build().unwrap();
+        assert_eq!(cfg.cache_blocks, 4 * 25 * 10);
+        let cfg = ScenarioBuilder::new(25, 5).adaptive(2, 16).build().unwrap();
+        assert_eq!(cfg.cache_blocks, 4 * 25 * 2);
+        let cfg = ScenarioBuilder::new(25, 5).intra(10).build().unwrap();
+        assert_eq!(cfg.cache_blocks, 25 * 10);
+        let cfg = ScenarioBuilder::new(25, 5).build().unwrap();
+        assert_eq!(cfg.cache_blocks, 25);
+    }
+
+    #[test]
+    fn build_validates() {
+        let err = ScenarioBuilder::new(0, 5).build().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(ScenarioBuilder::new(25, 5)
+            .inter(10)
+            .layout(DataLayout::Striped)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn setters_apply() {
+        let cfg = ScenarioBuilder::new(8, 4)
+            .run_blocks(200)
+            .inter(6)
+            .synchronized()
+            .cpu_per_block(SimDuration::from_nanos(1_000_000))
+            .admission(AdmissionPolicy::Greedy)
+            .prefetch_choice(PrefetchChoice::LeastHeld)
+            .per_run_cap(Some(12))
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.run_blocks, 200);
+        assert_eq!(cfg.sync, SyncMode::Synchronized);
+        assert_eq!(cfg.admission, AdmissionPolicy::Greedy);
+        assert_eq!(cfg.prefetch_choice, PrefetchChoice::LeastHeld);
+        assert_eq!(cfg.per_run_cap, Some(12));
+        assert_eq!(cfg.seed, 7);
+    }
+}

@@ -22,21 +22,24 @@ pub enum DataLayout {
 
 /// A fully specified merge-phase simulation.
 ///
-/// Use the `paper_*` constructors for the configurations evaluated in the
-/// paper, then adjust fields as needed. Pass the result to
-/// [`MergeSim::run`](crate::MergeSim::run) or
+/// Use [`ScenarioBuilder`](crate::ScenarioBuilder) for the
+/// configurations evaluated in the paper, then adjust fields as needed.
+/// Pass the result to [`MergeSim::run`](crate::MergeSim::run) or
 /// [`run_trials`](crate::run_trials).
 ///
 /// # Examples
 ///
 /// ```
-/// use pm_core::{MergeConfig, MergeSim, PrefetchStrategy};
+/// use pm_core::{MergeSim, PrefetchStrategy, ScenarioBuilder};
 ///
 /// // The paper's headline configuration: 25 runs over 5 disks with
 /// // combined inter-run + intra-run prefetching of depth 10.
-/// let mut cfg = MergeConfig::paper_inter(25, 5, 10, 1200);
-/// cfg.seed = 42;
-/// assert!(cfg.validate().is_ok());
+/// let mut cfg = ScenarioBuilder::new(25, 5)
+///     .inter(10)
+///     .cache_blocks(1200)
+///     .seed(42)
+///     .build()
+///     .unwrap();
 ///
 /// // Scale it down for a quick run.
 /// cfg.runs = 5;
@@ -144,6 +147,7 @@ impl MergeConfig {
     /// The paper's no-prefetching baseline: cache of `k` blocks, one per
     /// run.
     #[must_use]
+    #[deprecated(note = "use `ScenarioBuilder::new(k, d).build()` instead")]
     pub fn paper_no_prefetch(k: u32, d: u32) -> Self {
         MergeConfig {
             runs: k,
@@ -167,7 +171,9 @@ impl MergeConfig {
     /// The paper's intra-run ("Demand Run Only") configuration: cache of
     /// exactly `k·N` blocks, which guarantees every `N`-block fetch fits.
     #[must_use]
+    #[deprecated(note = "use `ScenarioBuilder::new(k, d).intra(n).build()` instead")]
     pub fn paper_intra(k: u32, d: u32, n: u32) -> Self {
+        #[allow(deprecated)]
         MergeConfig {
             strategy: PrefetchStrategy::IntraRun { n },
             cache_blocks: k * n,
@@ -179,7 +185,11 @@ impl MergeConfig {
     /// configuration with an explicit cache size (the independent variable
     /// of Figures 5 and 6).
     #[must_use]
+    #[deprecated(
+        note = "use `ScenarioBuilder::new(k, d).inter(n).cache_blocks(cache_blocks).build()` instead"
+    )]
     pub fn paper_inter(k: u32, d: u32, n: u32, cache_blocks: u32) -> Self {
+        #[allow(deprecated)]
         MergeConfig {
             strategy: PrefetchStrategy::InterRun { n },
             cache_blocks,
@@ -269,6 +279,9 @@ impl MergeConfig {
 }
 
 #[cfg(test)]
+// The deprecated `paper_*` shims are still the most compact spelling for
+// these validation cases (and are themselves under test).
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -38,8 +38,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod config;
 mod depletion;
+mod error;
 mod layout;
 mod metrics;
 pub mod parallel;
@@ -50,7 +52,9 @@ mod strategy;
 mod timeline;
 mod write;
 
+pub use builder::ScenarioBuilder;
 pub use config::{ConfigError, DataLayout, MergeConfig};
+pub use error::PmError;
 pub use depletion::{DepletionModel, SkewedDepletion, TraceDepletion, UniformDepletion};
 pub use layout::{RunLayout, RunPlacement};
 pub use metrics::MergeReport;

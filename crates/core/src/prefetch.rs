@@ -49,7 +49,14 @@ impl PrefetchChoice {
     /// policy's key for a candidate: held count for [`Self::LeastHeld`],
     /// cylinder distance for [`Self::HeadProximity`]; it is ignored for
     /// [`Self::Random`].
-    pub(crate) fn pick(
+    ///
+    /// Public so the execution engine (pm-engine) can make the exact
+    /// decision the simulator would, consuming the identical RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or pick arbitrarily) if `candidates` is empty.
+    pub fn pick(
         self,
         rng: &mut SimRng,
         candidates: &[RunId],

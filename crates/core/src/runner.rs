@@ -40,10 +40,9 @@ pub struct TrialSummary {
 /// # Examples
 ///
 /// ```
-/// use pm_core::{run_trials, MergeConfig};
+/// use pm_core::{run_trials, ScenarioBuilder};
 ///
-/// let mut cfg = MergeConfig::paper_intra(4, 2, 5);
-/// cfg.run_blocks = 40;
+/// let cfg = ScenarioBuilder::new(4, 2).intra(5).run_blocks(40).build().unwrap();
 /// let summary = run_trials(&cfg, 3).unwrap();
 /// assert_eq!(summary.trials(), 3);
 /// assert!(summary.mean_total_secs > 0.0);
@@ -74,10 +73,9 @@ pub fn run_trials(cfg: &MergeConfig, trials: u32) -> Result<TrialSummary, Config
 /// # Examples
 ///
 /// ```
-/// use pm_core::{run_trials, run_trials_parallel, MergeConfig};
+/// use pm_core::{run_trials, run_trials_parallel, ScenarioBuilder};
 ///
-/// let mut cfg = MergeConfig::paper_intra(4, 2, 5);
-/// cfg.run_blocks = 40;
+/// let cfg = ScenarioBuilder::new(4, 2).intra(5).run_blocks(40).build().unwrap();
 /// let sequential = run_trials(&cfg, 3).unwrap();
 /// let parallel = run_trials_parallel(&cfg, 3, 2).unwrap();
 /// assert_eq!(sequential.reports, parallel.reports);

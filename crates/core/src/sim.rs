@@ -1156,11 +1156,13 @@ mod tests {
         // restores full prefetching. (The symmetric one-run-per-disk case
         // self-balances; the asymmetric layout below is the pathological
         // one — see the E10 experiment.)
-        let mut cfg = MergeConfig::paper_no_prefetch(8, 5);
-        cfg.run_blocks = 2000;
-        cfg.strategy = PrefetchStrategy::InterRun { n: 20 };
-        cfg.cache_blocks = 640;
-        cfg.seed = 3;
+        let mut cfg = crate::ScenarioBuilder::new(8, 5)
+            .run_blocks(2000)
+            .inter(20)
+            .cache_blocks(640)
+            .seed(3)
+            .build()
+            .unwrap();
         let clogged = MergeSim::run_uniform(cfg).unwrap();
         cfg.per_run_cap = Some(160);
         let capped = MergeSim::run_uniform(cfg).unwrap();

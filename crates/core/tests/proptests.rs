@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use pm_core::{
-    parallel, run_trials, run_trials_parallel, AdmissionPolicy, MergeConfig, MergeSim,
-    PrefetchStrategy, QueueDiscipline, SimDuration, SyncMode,
+    AdmissionPolicy, MergeConfig, MergeSim, PrefetchStrategy, QueueDiscipline, ScenarioBuilder, SimDuration, SyncMode, parallel, run_trials, run_trials_parallel,
 };
 use pm_sim::{derive_seeds, SimRng};
 
@@ -184,7 +183,7 @@ proptest! {
         n in 1u32..6,
         seed in any::<u64>(),
     ) {
-        let mut cfg = MergeConfig::paper_intra(runs, disks, n);
+        let mut cfg = ScenarioBuilder::new(runs, disks).intra(n).build().unwrap();
         cfg.run_blocks = run_blocks;
         cfg.seed = seed;
         prop_assume!(cfg.validate().is_ok());
@@ -207,7 +206,7 @@ proptest! {
         let small = MergeConfig {
             seed,
             run_blocks: 60,
-            ..MergeConfig::paper_inter(k, 4, n, k * n)
+            ..ScenarioBuilder::new(k, 4).inter(n).cache_blocks(k * n).build().unwrap()
         };
         let big = MergeConfig {
             cache_blocks: k * n + 400,

@@ -1,0 +1,56 @@
+//! pm-engine — real-I/O execution of the paper's merge phase.
+//!
+//! Where [`pm_core::MergeSim`] advances a virtual clock over a modeled
+//! disk array, this crate executes the *same decision procedure* —
+//! initial load, demand fetches, inter-run prefetch operations,
+//! admission, AIMD depth adaptation — against a [`BlockDevice`] with
+//! per-disk I/O worker threads, merging real records through the
+//! pm-extsort loser tree.
+//!
+//! Three backends plug in:
+//!
+//! * [`MemoryDevice`] — the golden reference: per-disk byte vectors,
+//!   zero latency.
+//! * [`FileDevice`] — one file per simulated disk, positioned `read_at`
+//!   I/O; point it at tmpfs for smoke tests or at real disks for real
+//!   measurements.
+//! * [`LatencyDevice`] — wraps another backend and injects the pm-disk
+//!   seek/rotation model's deterministic per-request service time, so
+//!   engine measurements can be cross-validated against simulator
+//!   predictions ([`MergeEngine::predict`]).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pm_core::ScenarioBuilder;
+//! use pm_engine::{ExecConfig, MemoryDevice, MergeEngine};
+//! use pm_extsort::Record;
+//!
+//! let cfg = ScenarioBuilder::new(4, 2).intra(3).build().unwrap();
+//! let runs: Vec<Vec<Record>> = (0..4)
+//!     .map(|r| (0..100u64).map(|i| Record::new(i * 4 + r, i)).collect())
+//!     .collect();
+//! let engine = MergeEngine::new(
+//!     ExecConfig::new(cfg),
+//!     runs.iter().map(Vec::len).collect(),
+//! )
+//! .unwrap();
+//! let mut device = MemoryDevice::new(2, engine.block_bytes());
+//! engine.load(&mut device, &runs).unwrap();
+//! let outcome = engine.execute(Arc::new(device)).unwrap();
+//! assert!(outcome.output.windows(2).all(|w| w[0].key <= w[1].key));
+//! assert_eq!(outcome.output.len(), 400);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod device;
+mod engine;
+mod workers;
+
+pub use block::{block_bytes, decode_records, encode_records, RECORD_BYTES};
+pub use device::{BlockDevice, FileDevice, InjectedService, LatencyDevice, MemoryDevice};
+pub use engine::{
+    disk_seed_for, EnginePrediction, ExecConfig, ExecOutcome, ExecReport, MergeEngine,
+};

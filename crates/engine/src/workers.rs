@@ -1,0 +1,256 @@
+//! Per-disk I/O worker threads.
+//!
+//! Each worker owns one bounded FIFO request queue and services one or
+//! more disks (`disk → disk mod workers`); with the default of one
+//! worker per disk every disk has a dedicated thread, exactly one
+//! request in service at a time, and per-disk FIFO order. Submission
+//! blocks when the worker's queue is full (bounded-queue backpressure
+//! on the merge thread); completions flow back over one unbounded queue
+//! the merge thread drains.
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pm_disk::DiskRequest;
+
+use crate::device::{BlockDevice, InjectedService};
+
+/// One read request in flight to a worker.
+pub(crate) struct IoRequest {
+    pub req: DiskRequest,
+    /// Per-disk monotone span id (ties trace issue events to completions).
+    pub span: u64,
+}
+
+/// A serviced request on its way back to the merge thread.
+pub(crate) struct IoCompletion {
+    pub disk: u16,
+    pub tag: u64,
+    pub span: u64,
+    /// The request's `sequential_hint` (echoed for accounting).
+    pub hint: bool,
+    /// The modeled service, when the backend injects latency.
+    pub injected: Option<InjectedService>,
+    /// Service start/end, nanoseconds since the engine epoch.
+    pub started_ns: u64,
+    pub finished_ns: u64,
+    pub data: io::Result<Vec<u8>>,
+}
+
+struct ChannelInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A minimal Mutex+Condvar MPSC channel with an optional capacity bound.
+struct Channel<T> {
+    inner: Mutex<ChannelInner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Channel<T> {
+    fn new(capacity: usize) -> Self {
+        Channel {
+            inner: Mutex::new(ChannelInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the channel is full. Pushes are lost after `close`.
+    fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("channel poisoned");
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("channel poisoned");
+        }
+        if inner.closed {
+            return;
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocks until an item is available; `None` once closed and drained.
+    fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().expect("channel poisoned");
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// The worker pool: `min(jobs, disks)` threads (or one per disk when
+/// `jobs == 0`), each with its own bounded request queue.
+pub(crate) struct IoPool {
+    queues: Vec<Arc<Channel<IoRequest>>>,
+    completions: Arc<Channel<IoCompletion>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl IoPool {
+    pub fn start(
+        device: Arc<dyn BlockDevice>,
+        disks: usize,
+        jobs: usize,
+        queue_capacity: usize,
+        time_scale: f64,
+        epoch: Instant,
+    ) -> Self {
+        let workers = if jobs == 0 { disks } else { jobs.min(disks) }.max(1);
+        let completions = Arc::new(Channel::new(usize::MAX));
+        let mut queues = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            queues.push(Arc::new(Channel::new(queue_capacity.max(1))));
+        }
+        for queue in &queues {
+            let queue = Arc::clone(queue);
+            let completions = Arc::clone(&completions);
+            let device = Arc::clone(&device);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(&device, &queue, &completions, disks, time_scale, epoch);
+            }));
+        }
+        IoPool {
+            queues,
+            completions,
+            handles,
+        }
+    }
+
+    /// Routes the request to its disk's worker; blocks on a full queue.
+    pub fn submit(&self, req: IoRequest) {
+        let worker = req.req.disk.0 as usize % self.queues.len();
+        self.queues[worker].push(req);
+    }
+
+    /// Blocks for the next completion; `None` if every worker exited.
+    pub fn recv(&self) -> Option<IoCompletion> {
+        self.completions.pop()
+    }
+
+    /// Closes the request queues and joins the workers.
+    pub fn shutdown(&mut self) {
+        for q in &self.queues {
+            q.close();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.completions.close();
+    }
+}
+
+impl Drop for IoPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    device: &Arc<dyn BlockDevice>,
+    queue: &Channel<IoRequest>,
+    completions: &Channel<IoCompletion>,
+    disks: usize,
+    time_scale: f64,
+    epoch: Instant,
+) {
+    // Per-disk service deadlines for injected latency: each sleep is
+    // anchored to the previous deadline, not to "now", so scheduling
+    // jitter does not accumulate across a run.
+    let mut free_at = vec![epoch; disks];
+    let block_bytes = device.block_bytes();
+    while let Some(IoRequest { req, span }) = queue.pop() {
+        let injected = device.service_timing(&req);
+        let mut buf = vec![0u8; block_bytes];
+        let (started, finished);
+        if let Some(inj) = &injected {
+            let d = req.disk.0 as usize;
+            let service = scaled(inj.breakdown.total().as_nanos(), time_scale);
+            let start = Instant::now().max(free_at[d]);
+            let deadline = start + service;
+            // Read the payload first (memory/tmpfs reads are orders of
+            // magnitude cheaper than the modeled mechanics), then sleep
+            // out the remainder of the modeled service.
+            let result = read(device, &req, &mut buf);
+            sleep_until(deadline);
+            free_at[d] = deadline;
+            started = start;
+            finished = deadline;
+            push_completion(completions, &req, span, injected, started, finished, epoch, result, buf);
+        } else {
+            started = Instant::now();
+            let result = read(device, &req, &mut buf);
+            finished = Instant::now();
+            push_completion(completions, &req, span, injected, started, finished, epoch, result, buf);
+        }
+    }
+}
+
+fn read(device: &Arc<dyn BlockDevice>, req: &DiskRequest, buf: &mut [u8]) -> io::Result<()> {
+    device.read_block(req.disk, req.start, buf)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_completion(
+    completions: &Channel<IoCompletion>,
+    req: &DiskRequest,
+    span: u64,
+    injected: Option<InjectedService>,
+    started: Instant,
+    finished: Instant,
+    epoch: Instant,
+    result: io::Result<()>,
+    buf: Vec<u8>,
+) {
+    completions.push(IoCompletion {
+        disk: req.disk.0,
+        tag: req.tag,
+        span,
+        hint: req.sequential_hint,
+        injected,
+        started_ns: since(epoch, started),
+        finished_ns: since(epoch, finished),
+        data: result.map(|()| buf),
+    });
+}
+
+fn since(epoch: Instant, at: Instant) -> u64 {
+    at.saturating_duration_since(epoch).as_nanos() as u64
+}
+
+fn scaled(nanos: u64, time_scale: f64) -> Duration {
+    Duration::from_nanos((nanos as f64 * time_scale).round() as u64)
+}
+
+fn sleep_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep(deadline - now);
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared fixtures for the engine integration tests.
+
+// Each test binary compiles this module separately and uses a subset.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pm_core::MergeConfig;
+use pm_engine::{ExecConfig, ExecOutcome, FileDevice, MemoryDevice, MergeEngine};
+use pm_extsort::{generate, run_formation, Record};
+
+/// Records per on-device block the tests use throughout.
+pub const RPB: u32 = 20;
+
+/// Generates `total` uniform records and forms sorted runs of up to
+/// `memory` records each (the pm-extsort run-formation path the real
+/// sort uses).
+pub fn form_runs(total: usize, memory: usize, seed: u64) -> Vec<Vec<Record>> {
+    let input = generate::uniform(total, seed);
+    run_formation::load_sort(&input, memory)
+}
+
+/// The expected merged output: every input record in key order.
+pub fn reference(runs: &[Vec<Record>]) -> Vec<Record> {
+    let mut all: Vec<Record> = runs.iter().flatten().copied().collect();
+    all.sort_by_key(|r| (r.key, r.rid));
+    all
+}
+
+/// Plans an engine over `runs` for `cfg` with the test block factor.
+pub fn engine_for(cfg: MergeConfig, runs: &[Vec<Record>], jobs: usize) -> MergeEngine {
+    let mut exec = ExecConfig::new(cfg);
+    exec.records_per_block = RPB;
+    exec.queue_capacity = 8;
+    exec.jobs = jobs;
+    MergeEngine::new(exec, runs.iter().map(Vec::len).collect()).expect("plan")
+}
+
+/// Loads + executes on the in-memory backend.
+pub fn run_memory(engine: &MergeEngine, runs: &[Vec<Record>], disks: usize) -> ExecOutcome {
+    let mut dev = MemoryDevice::new(disks, engine.block_bytes());
+    engine.load(&mut dev, runs).expect("load");
+    engine.execute(Arc::new(dev)).expect("execute")
+}
+
+/// Loads + executes on the file backend under a fresh temp directory,
+/// removing it afterwards.
+pub fn run_file(engine: &MergeEngine, runs: &[Vec<Record>], disks: usize) -> ExecOutcome {
+    let dir = unique_dir();
+    let mut dev = FileDevice::create(&dir, disks, engine.block_bytes()).expect("create files");
+    engine.load(&mut dev, runs).expect("load");
+    let outcome = engine.execute(Arc::new(dev)).expect("execute");
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
+/// A unique scratch directory under the system temp dir.
+pub fn unique_dir() -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "pm-engine-test-{}-{n}",
+        std::process::id()
+    ))
+}
+
+/// Asserts `outcome` merged every input record into key order (ties may
+/// land in either order depending on the merge path, so the multiset is
+/// compared sorted).
+pub fn assert_sorted_output(outcome: &ExecOutcome, runs: &[Vec<Record>]) {
+    assert!(
+        outcome.output.windows(2).all(|w| w[0].key <= w[1].key),
+        "merged output out of key order"
+    );
+    let mut got = outcome.output.clone();
+    got.sort_by_key(|r| (r.key, r.rid));
+    assert_eq!(got, reference(runs), "merged output is not the input multiset");
+}

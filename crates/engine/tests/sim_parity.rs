@@ -1,0 +1,155 @@
+//! Sim-vs-engine cross-validation.
+//!
+//! The engine executes the simulator's decision procedure; replaying an
+//! engine run's depletion sequence through the discrete-event simulator
+//! ([`MergeEngine::predict`]) must therefore re-derive the exact per-disk
+//! block-request sequences. With the latency-injected backend, the
+//! engine's modeled per-request service breakdowns come from an
+//! identically-seeded copy of the simulator's disk array, so per-disk
+//! busy time is bit-identical too — and scaled wall-clock time lands
+//! near the simulator's predicted total.
+
+mod common;
+
+use std::sync::Arc;
+
+use pm_core::{
+    AdmissionPolicy, MergeConfig, PrefetchChoice, QueueDiscipline, ScenarioBuilder,
+};
+use pm_engine::{disk_seed_for, LatencyDevice, MemoryDevice};
+
+use common::{engine_for, form_runs, run_memory};
+
+fn parity_scenarios() -> Vec<(&'static str, MergeConfig)> {
+    vec![
+        (
+            "no-prefetch",
+            ScenarioBuilder::new(8, 2).cache_blocks(16).seed(31).build().unwrap(),
+        ),
+        (
+            "intra",
+            ScenarioBuilder::new(8, 2).intra(4).seed(32).build().unwrap(),
+        ),
+        (
+            "inter-random",
+            ScenarioBuilder::new(8, 3).inter(4).seed(33).build().unwrap(),
+        ),
+        (
+            "inter-greedy",
+            ScenarioBuilder::new(8, 3)
+                .inter(4)
+                .admission(AdmissionPolicy::Greedy)
+                .prefetch_choice(PrefetchChoice::LeastHeld)
+                .seed(34)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "adaptive",
+            ScenarioBuilder::new(8, 2)
+                .adaptive(1, 8)
+                .cache_blocks(96)
+                .seed(35)
+                .build()
+                .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn simulator_rederives_engine_request_sequences() {
+    let runs = form_runs(4000, 500, 17);
+    for (name, cfg) in parity_scenarios() {
+        let engine = engine_for(cfg, &runs, 0);
+        let outcome = run_memory(&engine, &runs, cfg.disks as usize);
+        let prediction = engine.predict(&outcome.depletion).expect("predict");
+        assert_eq!(
+            outcome.requests, prediction.requests,
+            "{name}: engine and simulator disagree on the request sequence"
+        );
+        let (e, s) = (&outcome.report, &prediction.report);
+        assert_eq!(e.blocks_merged, s.blocks_merged, "{name}");
+        assert_eq!(e.demand_ops, s.demand_ops, "{name}");
+        assert_eq!(e.fallback_ops, s.fallback_ops, "{name}");
+        assert_eq!(e.full_prefetch_ops, s.full_prefetch_ops, "{name}");
+        let total: u64 = e.per_disk_requests.iter().sum();
+        assert_eq!(total, s.disk_requests, "{name}");
+    }
+}
+
+#[test]
+fn latency_backend_matches_modeled_service_exactly() {
+    // Deterministic half of the acceptance check: per-disk service
+    // counts and modeled busy time are bit-identical to the simulator's
+    // prediction (same request sequences into an identically-seeded
+    // per-disk model, independent of host timing).
+    let runs = form_runs(2000, 250, 19);
+    for (name, cfg) in parity_scenarios() {
+        let engine = engine_for(cfg, &runs, 0);
+        let mut exec = *engine.exec_config();
+        // Replay the model at 2000x so the whole matrix stays fast; the
+        // breakdowns recorded are unscaled model durations.
+        exec.time_scale = 5e-4;
+        let engine = pm_engine::MergeEngine::new(
+            exec,
+            runs.iter().map(Vec::len).collect(),
+        )
+        .unwrap();
+        let disks = cfg.disks as usize;
+        let mut inner = MemoryDevice::new(disks, engine.block_bytes());
+        engine.load(&mut inner, &runs).expect("load");
+        let device = LatencyDevice::new(
+            inner,
+            disks,
+            cfg.disk_spec,
+            QueueDiscipline::Fifo,
+            disk_seed_for(&cfg),
+        );
+        let outcome = engine.execute(Arc::new(device)).expect("execute");
+        let prediction = engine.predict(&outcome.depletion).expect("predict");
+
+        assert_eq!(outcome.requests, prediction.requests, "{name}");
+        let per_disk_counts: Vec<u64> = outcome.requests.iter().map(|r| r.len() as u64).collect();
+        assert_eq!(outcome.report.per_disk_requests, per_disk_counts, "{name}");
+        assert_eq!(
+            outcome.report.per_disk_modeled_busy, prediction.report.per_disk_busy,
+            "{name}: modeled service time diverged from the simulator"
+        );
+        let seq: u64 = outcome.report.per_disk_sequential.iter().sum();
+        assert_eq!(seq, prediction.report.sequential_requests, "{name}");
+    }
+}
+
+#[test]
+#[ignore = "wall-clock timing: run explicitly (CI engine-smoke runs it with --ignored)"]
+fn latency_backend_wall_clock_tracks_prediction() {
+    // Timing half of the acceptance check: the engine's measured wall
+    // clock, unscaled, lands near the simulator's predicted total. The
+    // deadline-anchored sleeps keep per-request jitter from
+    // accumulating, but a loaded host still adds noise — hence the
+    // loose band and the #[ignore] gate.
+    let runs = form_runs(2000, 250, 23);
+    let cfg = ScenarioBuilder::new(8, 2).inter(4).seed(41).build().unwrap();
+    let engine = engine_for(cfg, &runs, 0);
+    let mut exec = *engine.exec_config();
+    exec.time_scale = 0.25;
+    let engine = pm_engine::MergeEngine::new(exec, runs.iter().map(Vec::len).collect()).unwrap();
+    let mut inner = MemoryDevice::new(2, engine.block_bytes());
+    engine.load(&mut inner, &runs).expect("load");
+    let device = LatencyDevice::new(
+        inner,
+        2,
+        cfg.disk_spec,
+        QueueDiscipline::Fifo,
+        disk_seed_for(&cfg),
+    );
+    let outcome = engine.execute(Arc::new(device)).expect("execute");
+    let prediction = engine.predict(&outcome.depletion).expect("predict");
+    let measured = outcome.report.wall.as_secs_f64() / exec.time_scale;
+    let predicted = prediction.report.total.as_secs_f64();
+    let ratio = measured / predicted;
+    assert!(
+        (0.8..=1.3).contains(&ratio),
+        "scaled wall {measured:.2}s vs predicted {predicted:.2}s (ratio {ratio:.3})"
+    );
+}

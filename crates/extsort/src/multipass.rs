@@ -25,7 +25,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use pm_core::{
-    MergeConfig, MergeSim, PrefetchStrategy, SimDuration, SyncMode, UniformDepletion,
+    MergeSim, PrefetchStrategy, ScenarioBuilder, SimDuration, SyncMode,
+    UniformDepletion,
 };
 
 /// One pass: the groups of run lengths (in blocks) it merges. Each group
@@ -237,7 +238,7 @@ pub fn simulate_plan(
             }
             let k = group.len() as u32;
             let n = (cache_blocks / (4 * k)).max(1);
-            let mut cfg = MergeConfig::paper_no_prefetch(k, disks.min(k));
+            let mut cfg = ScenarioBuilder::new(k, disks.min(k)).build().unwrap();
             cfg.strategy = if inter_run {
                 PrefetchStrategy::InterRun { n }
             } else {

@@ -194,11 +194,11 @@ mod tests {
 
     #[test]
     fn trace_drives_the_simulator() {
-        use pm_core::{MergeConfig, MergeSim, PrefetchStrategy};
+        use pm_core::{MergeSim, PrefetchStrategy, ScenarioBuilder};
         let input = generate::uniform(2400, 4);
         let out = external_sort(&input, &cfg(400, 10));
         let blocks = out.uniform_run_blocks().expect("equal runs");
-        let mut sim_cfg = MergeConfig::paper_no_prefetch(out.run_lengths.len() as u32, 2);
+        let mut sim_cfg = ScenarioBuilder::new(out.run_lengths.len() as u32, 2).build().unwrap();
         sim_cfg.run_blocks = blocks;
         sim_cfg.strategy = PrefetchStrategy::IntraRun { n: 4 };
         sim_cfg.cache_blocks = sim_cfg.runs * 4;

@@ -11,7 +11,7 @@
 //! function of those reports, and therefore the chosen trial count and the
 //! final summary are identical for every `--jobs` value.
 
-use pm_core::{run_trial_range, ConfigError, MergeConfig, MergeReport, TrialSummary};
+use pm_core::{ConfigError, MergeConfig, MergeReport, TrialSummary, run_trial_range};
 use pm_stats::{ConfidenceInterval, OnlineStats};
 
 /// How many trials to run per experiment point.
@@ -135,10 +135,11 @@ pub fn run_trials_converged(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pm_core::ScenarioBuilder;
     use std::sync::atomic::{AtomicU32, Ordering};
 
     fn cfg() -> MergeConfig {
-        let mut c = MergeConfig::paper_intra(4, 2, 5);
+        let mut c = ScenarioBuilder::new(4, 2).intra(5).build().unwrap();
         c.run_blocks = 40;
         c.seed = 7;
         c

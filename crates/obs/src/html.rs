@@ -302,7 +302,7 @@ mod tests {
     use pm_workload::spec::ScenarioSpec;
 
     fn record(kind: RecordKind, label: &str, pass: Option<bool>) -> ManifestRecord {
-        let cfg = pm_core::MergeConfig::paper_inter(25, 5, 10, 1000);
+        let cfg = pm_core::ScenarioBuilder::new(25, 5).inter(10).cache_blocks(1000).build().unwrap();
         ManifestRecord {
             schema: SCHEMA_VERSION,
             kind,

@@ -31,7 +31,7 @@
 //! use pm_obs::suite::{run_suite, PointSpec, SuiteOptions};
 //! use pm_obs::{NullProgress, RecordKind, TrialsMode};
 //!
-//! let mut cfg = pm_core::MergeConfig::paper_intra(4, 2, 5);
+//! let mut cfg = pm_core::ScenarioBuilder::new(4, 2).intra(5).build().unwrap();
 //! cfg.run_blocks = 40;
 //! let points = vec![PointSpec {
 //!     kind: RecordKind::T1Case,
@@ -63,7 +63,10 @@ pub mod suite;
 
 pub use convergence::{run_trials_converged, ConvergenceDecision, ConvergencePolicy, TrialsMode};
 pub use html::render_report;
-pub use manifest::{env_record_line, parse_manifest, render_manifest, ManifestRecord, RecordKind};
+pub use manifest::{
+    env_record_line, parse_manifest, render_manifest, DiskRollup, ManifestRecord, PointMetrics,
+    RecordKind, TraceRollup, SCHEMA_VERSION,
+};
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
 pub use residual::{closed_form, Bound, ResidualCheck, TolerancePolicy};
 pub use suite::{run_suite, t1_points, t2_points, validation_points, PointSpec, SuiteOptions};

@@ -18,6 +18,7 @@
 //! 64-bit seeds are serialized as JSON *strings*: JSON numbers are
 //! doubles, which cannot represent every `u64`.
 
+use pm_core::PmError;
 use pm_workload::spec::{ChoiceSpec, ScenarioSpec, StrategySpec};
 
 use crate::convergence::ConvergenceDecision;
@@ -36,6 +37,10 @@ pub enum RecordKind {
     T2Concurrency,
     /// One point of a figure sweep.
     SweepPoint,
+    /// A real-I/O execution-engine run (`pmerge exec`): measured, not
+    /// simulated; `analytic` holds the sim-vs-engine residual when the
+    /// latency backend makes one meaningful.
+    EngineExec,
 }
 
 impl RecordKind {
@@ -46,6 +51,7 @@ impl RecordKind {
             RecordKind::T1Case => "t1",
             RecordKind::T2Concurrency => "t2",
             RecordKind::SweepPoint => "sweep",
+            RecordKind::EngineExec => "exec",
         }
     }
 
@@ -54,6 +60,7 @@ impl RecordKind {
             "t1" => Some(RecordKind::T1Case),
             "t2" => Some(RecordKind::T2Concurrency),
             "sweep" => Some(RecordKind::SweepPoint),
+            "exec" => Some(RecordKind::EngineExec),
             _ => None,
         }
     }
@@ -274,8 +281,13 @@ impl ManifestRecord {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first missing or ill-typed field.
-    pub fn from_json_line(line: &str) -> Result<Self, String> {
+    /// Returns [`PmError::Usage`] describing the first missing or
+    /// ill-typed field.
+    pub fn from_json_line(line: &str) -> Result<Self, PmError> {
+        Self::parse_record(line).map_err(PmError::Usage)
+    }
+
+    fn parse_record(line: &str) -> Result<Self, String> {
         let v = Value::parse(line)?;
         let schema = get_u64(&v, "schema")? as u32;
         if schema != SCHEMA_VERSION {
@@ -462,20 +474,20 @@ pub fn render_manifest(records: &[ManifestRecord]) -> String {
 ///
 /// # Errors
 ///
-/// Returns `"line N: <detail>"` for the first malformed line.
-pub fn parse_manifest(text: &str) -> Result<Vec<ManifestRecord>, String> {
+/// Returns [`PmError::Usage`] with `"line N: <detail>"` for the first
+/// malformed line.
+pub fn parse_manifest(text: &str) -> Result<Vec<ManifestRecord>, PmError> {
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let v = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let bad = |e| PmError::Usage(format!("line {}: {e}", i + 1));
+        let v = Value::parse(line).map_err(bad)?;
         if v.get("kind").and_then(Value::as_str) == Some("env") {
             continue;
         }
-        records.push(
-            ManifestRecord::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?,
-        );
+        records.push(ManifestRecord::parse_record(line).map_err(bad)?);
     }
     Ok(records)
 }
@@ -500,7 +512,7 @@ mod tests {
     use super::*;
 
     fn sample(kind: RecordKind) -> ManifestRecord {
-        let cfg = pm_core::MergeConfig::paper_inter(25, 5, 10, 1000);
+        let cfg = pm_core::ScenarioBuilder::new(25, 5).inter(10).cache_blocks(1000).build().unwrap();
         let mut scenario = ScenarioSpec::from_config("eq5 demo", &cfg);
         scenario.seed = u64::MAX - 3;
         ManifestRecord {
@@ -620,7 +632,8 @@ mod tests {
         let good = sample(RecordKind::T1Case).to_json_line();
         let text = format!("{good}\n{{\"schema\":1,\"kind\":\"t1\"}}\n");
         let err = parse_manifest(&text).unwrap_err();
-        assert!(err.starts_with("line 2:"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
     }
 
     #[test]
@@ -628,7 +641,7 @@ mod tests {
         let mut r = sample(RecordKind::T1Case);
         r.schema = 99;
         let err = ManifestRecord::from_json_line(&r.to_json_line()).unwrap_err();
-        assert!(err.contains("schema 99"), "{err}");
+        assert!(err.to_string().contains("schema 99"), "{err}");
     }
 
     #[test]

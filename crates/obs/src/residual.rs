@@ -11,9 +11,7 @@
 
 use pm_analysis::predict::{predict_total_secs, Prediction, PredictionKind, StrategyShape};
 use pm_analysis::ModelParams;
-use pm_core::{
-    AdmissionPolicy, DataLayout, DiskSpec, MergeConfig, PrefetchStrategy, QueueDiscipline, SyncMode,
-};
+use pm_core::{AdmissionPolicy, DataLayout, DiskSpec, MergeConfig, PrefetchStrategy, QueueDiscipline, SyncMode};
 
 /// Per-kind residual tolerances.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,33 +208,33 @@ pub fn closed_form(cfg: &MergeConfig) -> Option<Prediction> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pm_core::SimDuration;
+    use pm_core::{ScenarioBuilder, SimDuration};
 
     #[test]
     fn maps_the_validation_cases_to_their_equations() {
         let expect = [
-            (MergeConfig::paper_no_prefetch(25, 1), "eq1"),
-            (MergeConfig::paper_no_prefetch(25, 5), "eq3"),
-            (MergeConfig::paper_intra(25, 1, 16), "eq2"),
-            (MergeConfig::paper_intra(25, 5, 30), "urn-asymptote"),
-            (MergeConfig::paper_inter(25, 5, 50, 5000), "kBT/D"),
+            (ScenarioBuilder::new(25, 1).build().unwrap(), "eq1"),
+            (ScenarioBuilder::new(25, 5).build().unwrap(), "eq3"),
+            (ScenarioBuilder::new(25, 1).intra(16).build().unwrap(), "eq2"),
+            (ScenarioBuilder::new(25, 5).intra(30).build().unwrap(), "urn-asymptote"),
+            (ScenarioBuilder::new(25, 5).inter(50).cache_blocks(5000).build().unwrap(), "kBT/D"),
         ];
         for (cfg, label) in expect {
             let pred = closed_form(&cfg).unwrap();
             assert_eq!(pred.kind.label(), label);
             assert!(pred.secs > 0.0);
         }
-        let mut sync_intra = MergeConfig::paper_intra(25, 5, 30);
+        let mut sync_intra = ScenarioBuilder::new(25, 5).intra(30).build().unwrap();
         sync_intra.sync = SyncMode::Synchronized;
         assert_eq!(closed_form(&sync_intra).unwrap().kind.label(), "eq4");
-        let mut sync_inter = MergeConfig::paper_inter(25, 5, 10, 2000);
+        let mut sync_inter = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(2000).build().unwrap();
         sync_inter.sync = SyncMode::Synchronized;
         assert_eq!(closed_form(&sync_inter).unwrap().kind.label(), "eq5");
     }
 
     #[test]
     fn out_of_model_configs_have_no_prediction() {
-        let base = MergeConfig::paper_intra(25, 5, 10);
+        let base = ScenarioBuilder::new(25, 5).intra(10).build().unwrap();
         let mut cpu = base;
         cpu.cpu_per_block = SimDuration::from_millis_f64(0.2);
         assert!(closed_form(&cpu).is_none());
@@ -249,7 +247,7 @@ mod tests {
         capped.per_run_cap = Some(4);
         assert!(closed_form(&capped).is_none());
 
-        let mut adaptive = MergeConfig::paper_inter(25, 5, 10, 2000);
+        let mut adaptive = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(2000).build().unwrap();
         adaptive.strategy = PrefetchStrategy::InterRunAdaptive { n_min: 2, n_max: 10 };
         assert!(closed_form(&adaptive).is_none());
 
@@ -262,14 +260,14 @@ mod tests {
 
         // Synchronized inter-run with a tight cache breaks eq. 5's
         // every-batch-admitted assumption.
-        let mut tight = MergeConfig::paper_inter(25, 5, 10, 250);
+        let mut tight = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(250).build().unwrap();
         tight.sync = SyncMode::Synchronized;
         assert!(closed_form(&tight).is_none());
     }
 
     #[test]
     fn striped_intra_sync_uses_the_extension() {
-        let mut cfg = MergeConfig::paper_intra(25, 5, 10);
+        let mut cfg = ScenarioBuilder::new(25, 5).intra(10).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         cfg.layout = DataLayout::Striped;
         assert_eq!(closed_form(&cfg).unwrap().kind.label(), "eq4-striped");

@@ -9,9 +9,7 @@
 //! [`crate::html::render_report`].
 
 use pm_analysis::predict::PredictionKind;
-use pm_core::{
-    run_trials_traced, ConfigError, MergeConfig, SyncMode, TrialSummary,
-};
+use pm_core::{run_trials_traced, MergeConfig, PmError, ScenarioBuilder, SyncMode, TrialSummary};
 use pm_trace::TraceMetrics;
 use pm_workload::paper::{fig2_panel, Fig2Panel};
 use pm_workload::spec::ScenarioSpec;
@@ -95,42 +93,42 @@ pub fn t1_points(master_seed: u64) -> Vec<PointSpec> {
     for k in [25u32, 50] {
         v.push(t1(
             format!("eq1: no prefetch, k={k}, D=1"),
-            seeded(MergeConfig::paper_no_prefetch(k, 1)),
+            seeded(ScenarioBuilder::new(k, 1).build().unwrap()),
         ));
     }
     for (k, n) in [(25u32, 16u32), (50, 16), (25, 30), (50, 30)] {
         v.push(t1(
             format!("eq2: intra, k={k}, D=1, N={n}"),
-            seeded(MergeConfig::paper_intra(k, 1, n)),
+            seeded(ScenarioBuilder::new(k, 1).intra(n).build().unwrap()),
         ));
     }
     for (k, d) in [(25u32, 5u32), (50, 10)] {
         v.push(t1(
             format!("eq3: no prefetch, k={k}, D={d}"),
-            seeded(MergeConfig::paper_no_prefetch(k, d)),
+            seeded(ScenarioBuilder::new(k, d).build().unwrap()),
         ));
     }
     {
-        let mut cfg = MergeConfig::paper_intra(25, 5, 30);
+        let mut cfg = ScenarioBuilder::new(25, 5).intra(30).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         v.push(t1("eq4: intra sync, k=25, D=5, N=30", seeded(cfg)));
     }
     {
-        let mut cfg = MergeConfig::paper_inter(25, 5, 10, 2000);
+        let mut cfg = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(2000).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         v.push(t1("eq5: inter sync, k=25, D=5, N=10", seeded(cfg)));
     }
     v.push(t1(
         "urn asymptote: intra unsync, k=25, D=5, N=30",
-        seeded(MergeConfig::paper_intra(25, 5, 30)),
+        seeded(ScenarioBuilder::new(25, 5).intra(30).build().unwrap()),
     ));
     v.push(t1(
         "bound kBT/D: inter unsync, k=25, D=5, N=50",
-        seeded(MergeConfig::paper_inter(25, 5, 50, 5000)),
+        seeded(ScenarioBuilder::new(25, 5).inter(50).cache_blocks(5000).build().unwrap()),
     ));
     v.push(t1(
         "bound kBT/D: inter unsync, k=50, D=5, N=50",
-        seeded(MergeConfig::paper_inter(50, 5, 50, 10_000)),
+        seeded(ScenarioBuilder::new(50, 5).inter(50).cache_blocks(10_000).build().unwrap()),
     ));
     v
 }
@@ -142,7 +140,7 @@ pub fn t2_points(master_seed: u64) -> Vec<PointSpec> {
     [(5u32, 25u32), (10, 50), (20, 60)]
         .into_iter()
         .map(|(d, k)| {
-            let mut cfg = MergeConfig::paper_intra(k, d, 30);
+            let mut cfg = ScenarioBuilder::new(k, d).intra(30).build().unwrap();
             cfg.seed = master_seed;
             PointSpec {
                 kind: RecordKind::T2Concurrency,
@@ -222,10 +220,13 @@ fn residual_for(
             }
             Some(check(&pred, summary.mean_total_secs, policy))
         }
+        // Engine runs attach their residual at execution time (the
+        // sim-vs-engine cross-check), not from a closed form here.
+        RecordKind::EngineExec => None,
     }
 }
 
-fn trace_rollup(cfg: &MergeConfig) -> Result<TraceRollup, ConfigError> {
+fn trace_rollup(cfg: &MergeConfig) -> Result<TraceRollup, PmError> {
     let (_, sink) = run_trials_traced(cfg, 1, 1, None)?;
     let m = TraceMetrics::from_events(&sink.events());
     let span_ns = m.span_end.as_nanos() as f64;
@@ -249,14 +250,14 @@ fn trace_rollup(cfg: &MergeConfig) -> Result<TraceRollup, ConfigError> {
 ///
 /// # Errors
 ///
-/// Returns a [`ConfigError`] if the point's configuration is invalid.
+/// Returns [`PmError::Config`] if the point's configuration is invalid.
 pub fn run_point(
     spec: &PointSpec,
     opts: &SuiteOptions,
     progress: &dyn ProgressSink,
     index: usize,
     total: usize,
-) -> Result<ManifestRecord, ConfigError> {
+) -> Result<ManifestRecord, PmError> {
     progress.point_started(index, total, &spec.label);
     let (summary, decision) =
         run_trials_converged(&spec.config, opts.trials, opts.jobs, &|_, _| {
@@ -300,12 +301,12 @@ pub fn run_point(
 ///
 /// # Errors
 ///
-/// Returns the first invalid point's [`ConfigError`].
+/// Returns the first invalid point's [`PmError::Config`].
 pub fn run_suite(
     points: &[PointSpec],
     opts: &SuiteOptions,
     progress: &dyn ProgressSink,
-) -> Result<Vec<ManifestRecord>, ConfigError> {
+) -> Result<Vec<ManifestRecord>, PmError> {
     progress.begin(points.len());
     let mut records = Vec::with_capacity(points.len());
     for (i, p) in points.iter().enumerate() {
@@ -323,10 +324,10 @@ mod tests {
 
     /// A few seconds-scale points that stay fast in debug builds.
     fn tiny_points() -> Vec<PointSpec> {
-        let mut intra = MergeConfig::paper_intra(4, 2, 5);
+        let mut intra = ScenarioBuilder::new(4, 2).intra(5).build().unwrap();
         intra.run_blocks = 40;
         intra.seed = 11;
-        let mut inter = MergeConfig::paper_inter(4, 2, 5, 80);
+        let mut inter = ScenarioBuilder::new(4, 2).inter(5).cache_blocks(80).build().unwrap();
         inter.run_blocks = 40;
         inter.seed = 11;
         vec![

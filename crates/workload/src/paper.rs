@@ -14,7 +14,7 @@
 //!   master seed, the curve label, and `x`, so figures are reproducible
 //!   point-by-point yet no two points share a random stream.
 
-use pm_core::{MergeConfig, PrefetchStrategy, SimDuration, SyncMode};
+use pm_core::{PrefetchStrategy, ScenarioBuilder, SimDuration, SyncMode};
 
 use crate::Sweep;
 
@@ -58,7 +58,7 @@ fn intra_sweep(label: &str, k: u32, d: u32, ns: &[u32], master: u64) -> Sweep {
     let owned = label.to_string();
     Sweep::build(label, "N (blocks fetched per run)", ns.iter().map(|&n| f64::from(n)), move |x| {
         let n = x as u32;
-        let mut cfg = MergeConfig::paper_intra(k, d, n);
+        let mut cfg = ScenarioBuilder::new(k, d).intra(n).build().unwrap();
         cfg.seed = point_seed(master, &owned, u64::from(n));
         cfg
     })
@@ -68,7 +68,7 @@ fn inter_sweep(label: &str, k: u32, d: u32, ns: &[u32], master: u64) -> Sweep {
     let owned = label.to_string();
     Sweep::build(label, "N (blocks fetched per run)", ns.iter().map(|&n| f64::from(n)), move |x| {
         let n = x as u32;
-        let mut cfg = MergeConfig::paper_inter(k, d, n, ample_cache(k, n));
+        let mut cfg = ScenarioBuilder::new(k, d).inter(n).cache_blocks(ample_cache(k, n)).build().unwrap();
         cfg.seed = point_seed(master, &owned, u64::from(n));
         cfg
     })
@@ -122,7 +122,7 @@ pub fn fig3_cpu_sweep(master_seed: u64) -> Vec<Sweep> {
     let curve = move |label: &'static str, strategy: PrefetchStrategy, sync: SyncMode| {
         let cache = if strategy.is_inter_run() { 1200 } else { k * n };
         Sweep::build(label, "CPU time to merge one block (ms)", cpu_ms.iter().copied(), move |x| {
-            let mut cfg = MergeConfig::paper_no_prefetch(k, d);
+            let mut cfg = ScenarioBuilder::new(k, d).build().unwrap();
             cfg.strategy = strategy;
             cfg.sync = sync;
             cfg.cache_blocks = cache;
@@ -186,7 +186,7 @@ pub fn cache_sweep(panel: CachePanel, master_seed: u64) -> Vec<Sweep> {
                 .collect();
             let owned = label.clone();
             Sweep::build(label, "Cache size (blocks)", xs, move |x| {
-                let mut cfg = MergeConfig::paper_inter(k, d, n, x as u32);
+                let mut cfg = ScenarioBuilder::new(k, d).inter(n).cache_blocks(x as u32).build().unwrap();
                 cfg.seed = point_seed(master_seed, &owned, x as u64);
                 cfg
             })

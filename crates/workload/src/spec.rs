@@ -173,10 +173,11 @@ impl ScenarioSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pm_core::ScenarioBuilder;
 
     #[test]
     fn round_trips_through_spec() {
-        let mut cfg = MergeConfig::paper_inter(25, 5, 10, 800);
+        let mut cfg = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(800).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         cfg.cpu_per_block = SimDuration::from_millis_f64(0.25);
         cfg.admission = AdmissionPolicy::Greedy;
@@ -193,7 +194,7 @@ mod tests {
             PrefetchStrategy::InterRun { n: 3 },
             PrefetchStrategy::InterRunAdaptive { n_min: 2, n_max: 9 },
         ] {
-            let mut cfg = MergeConfig::paper_no_prefetch(10, 2);
+            let mut cfg = ScenarioBuilder::new(10, 2).build().unwrap();
             cfg.strategy = strategy;
             cfg.cache_blocks = 10 * strategy.depth();
             let spec = ScenarioSpec::from_config("s", &cfg);
@@ -203,7 +204,7 @@ mod tests {
 
     #[test]
     fn spec_name_is_carried() {
-        let cfg = MergeConfig::paper_no_prefetch(25, 5);
+        let cfg = ScenarioBuilder::new(25, 5).build().unwrap();
         let spec = ScenarioSpec::from_config("baseline", &cfg);
         assert_eq!(spec.name, "baseline");
     }

@@ -1,6 +1,8 @@
 //! Parameter-sweep scaffolding.
 
 use pm_core::MergeConfig;
+#[cfg(test)]
+use pm_core::ScenarioBuilder;
 
 /// One point of a sweep: the independent variable's value and the
 /// fully-built configuration to simulate there.
@@ -99,7 +101,7 @@ mod tests {
     #[test]
     fn build_maps_values() {
         let s = Sweep::build("demo", "N", (1..=5).map(f64::from), |x| {
-            MergeConfig::paper_intra(25, 5, x as u32)
+            ScenarioBuilder::new(25, 5).intra(x as u32).build().unwrap()
         });
         assert_eq!(s.len(), 5);
         assert!(!s.is_empty());
@@ -111,7 +113,7 @@ mod tests {
     #[test]
     fn thinned_keeps_stride_and_endpoints() {
         let s = Sweep::build("demo", "N", (1..=10).map(f64::from), |x| {
-            MergeConfig::paper_intra(25, 5, x as u32)
+            ScenarioBuilder::new(25, 5).intra(x as u32).build().unwrap()
         });
         let t = s.thinned(4);
         assert_eq!(
@@ -127,7 +129,7 @@ mod tests {
 
     #[test]
     fn validate_reports_offending_x() {
-        let mut s = Sweep::build("bad", "N", [4.0], |x| MergeConfig::paper_intra(25, 5, x as u32));
+        let mut s = Sweep::build("bad", "N", [4.0], |x| ScenarioBuilder::new(25, 5).intra(x as u32).build().unwrap());
         s.points[0].config.cache_blocks = 1;
         let err = s.validate().unwrap_err();
         assert_eq!(err.0, 4.0);

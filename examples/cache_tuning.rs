@@ -8,8 +8,9 @@
 //!
 //! Run with: `cargo run --release --example cache_tuning`
 
-use prefetchmerge::core::{run_trials, MergeConfig};
+use prefetchmerge::core::run_trials;
 use prefetchmerge::report::{Align, Table};
+use pm_core::ScenarioBuilder;
 
 fn main() {
     let (k, d) = (25, 5);
@@ -35,7 +36,7 @@ fn main() {
                 row.push("-".into());
                 continue;
             }
-            let cfg = MergeConfig::paper_inter(k, d, n, cache);
+            let cfg = ScenarioBuilder::new(k, d).inter(n).cache_blocks(cache).build().unwrap();
             let summary = run_trials(&cfg, 3).expect("valid configuration");
             let secs = summary.mean_total_secs;
             if best.is_none_or(|(b, _)| secs < b) {

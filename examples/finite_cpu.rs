@@ -6,8 +6,9 @@
 //!
 //! Run with: `cargo run --release --example finite_cpu`
 
-use prefetchmerge::core::{run_trials, MergeConfig, PrefetchStrategy, SimDuration, SyncMode};
+use prefetchmerge::core::{run_trials, PrefetchStrategy, SimDuration, SyncMode};
 use prefetchmerge::report::{Align, Table};
+use pm_core::ScenarioBuilder;
 
 fn main() {
     let (k, d, n) = (25, 5, 10);
@@ -24,7 +25,7 @@ fn main() {
 
     for cpu_ms in [0.0, 0.1, 0.2, 0.3, 0.5, 0.7] {
         let cell = |strategy: PrefetchStrategy, sync: SyncMode| {
-            let mut cfg = MergeConfig::paper_no_prefetch(k, d);
+            let mut cfg = ScenarioBuilder::new(k, d).build().unwrap();
             cfg.strategy = strategy;
             cfg.sync = sync;
             cfg.cache_blocks = if strategy.is_inter_run() { 1200 } else { k * n };

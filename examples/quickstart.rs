@@ -3,23 +3,24 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use prefetchmerge::core::{run_trials, MergeConfig};
+use prefetchmerge::core::run_trials;
+use pm_core::ScenarioBuilder;
 
 fn main() {
     // The paper's workload: 25 sorted runs of 1000 × 4 KiB blocks.
     let k = 25;
 
     // 1. Kwan–Baer baseline: everything on one disk, demand fetching only.
-    let baseline = MergeConfig::paper_no_prefetch(k, 1);
+    let baseline = ScenarioBuilder::new(k, 1).build().unwrap();
 
     // 2. Spread the runs over 5 disks, fetch 10 blocks of the demand run
     //    per I/O ("Demand Run Only" = intra-run prefetching).
-    let intra = MergeConfig::paper_intra(k, 5, 10);
+    let intra = ScenarioBuilder::new(k, 5).intra(10).build().unwrap();
 
     // 3. Additionally prefetch 10 blocks of one run from every other disk
     //    on each demand fetch ("All Disks One Run" = inter-run
     //    prefetching), through a 1200-block cache.
-    let inter = MergeConfig::paper_inter(k, 5, 10, 1200);
+    let inter = ScenarioBuilder::new(k, 5).inter(10).cache_blocks(1200).build().unwrap();
 
     println!("merge of {k} runs x 1000 blocks (4 KiB each), 5 trials per case\n");
     let mut baseline_secs = None;

@@ -4,8 +4,9 @@
 //!
 //! Run with: `cargo run --release --example real_mergesort`
 
-use prefetchmerge::core::{run_trials, MergeConfig, MergeSim, PrefetchStrategy};
+use prefetchmerge::core::{run_trials, MergeSim, PrefetchStrategy};
 use prefetchmerge::extsort::{external_sort, generate, ExtSortConfig, RunFormation};
+use pm_core::ScenarioBuilder;
 
 fn main() {
     // 8 runs x 100 blocks x 40 records: one memory load per run.
@@ -37,7 +38,7 @@ fn main() {
         ("intra-run N=8", PrefetchStrategy::IntraRun { n: 8 }, k * 8),
         ("inter-run N=8", PrefetchStrategy::InterRun { n: 8 }, 4 * k * 8),
     ] {
-        let mut cfg = MergeConfig::paper_no_prefetch(k, 4);
+        let mut cfg = ScenarioBuilder::new(k, 4).build().unwrap();
         cfg.run_blocks = blocks;
         cfg.strategy = strategy;
         cfg.cache_blocks = cache;

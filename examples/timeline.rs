@@ -4,12 +4,13 @@
 //! Run with: `cargo run --release --example timeline`
 
 use prefetchmerge::core::{
-    DiskId, MergeConfig, MergeSim, PrefetchStrategy, SyncMode, Timeline, UniformDepletion,
+    DiskId, MergeSim, PrefetchStrategy, SyncMode, Timeline, UniformDepletion,
 };
 use prefetchmerge::report::Gantt;
+use pm_core::ScenarioBuilder;
 
 fn trace(strategy: PrefetchStrategy, sync: SyncMode, cache: u32) -> (f64, Timeline) {
-    let mut cfg = MergeConfig::paper_no_prefetch(10, 4);
+    let mut cfg = ScenarioBuilder::new(10, 4).build().unwrap();
     cfg.run_blocks = 200;
     cfg.strategy = strategy;
     cfg.sync = sync;

@@ -9,13 +9,14 @@
 //! Run with: `cargo run --release --example trace_inspect`
 
 use prefetchmerge::core::{
-    EventKind, MergeConfig, MergeSim, PrefetchStrategy, RecordingSink, SimTime, SyncMode,
+    EventKind, MergeSim, PrefetchStrategy, RecordingSink, SimTime, SyncMode,
     UniformDepletion,
 };
 use prefetchmerge::trace::TraceMetrics;
+use pm_core::ScenarioBuilder;
 
 fn main() {
-    let mut cfg = MergeConfig::paper_no_prefetch(10, 4);
+    let mut cfg = ScenarioBuilder::new(10, 4).build().unwrap();
     cfg.run_blocks = 200;
     cfg.strategy = PrefetchStrategy::InterRun { n: 8 };
     cfg.sync = SyncMode::Unsynchronized;

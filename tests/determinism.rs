@@ -2,7 +2,7 @@
 //! across the whole pipeline, and the workload builders derive distinct,
 //! stable seeds per experiment point.
 
-use pm_core::{run_trials, MergeConfig, MergeSim, PrefetchStrategy, SyncMode};
+use pm_core::{MergeSim, PrefetchStrategy, ScenarioBuilder, SyncMode, run_trials};
 use pm_extsort::{external_sort, generate, ExtSortConfig, RunFormation};
 use pm_workload::paper::{fig2_panel, Fig2Panel};
 
@@ -13,7 +13,7 @@ fn whole_reports_are_bit_identical() {
         PrefetchStrategy::IntraRun { n: 10 },
         PrefetchStrategy::InterRun { n: 10 },
     ] {
-        let mut cfg = MergeConfig::paper_no_prefetch(25, 5);
+        let mut cfg = ScenarioBuilder::new(25, 5).build().unwrap();
         cfg.strategy = strategy;
         cfg.cache_blocks = 25 * strategy.depth() * 2;
         cfg.seed = 77;
@@ -25,7 +25,7 @@ fn whole_reports_are_bit_identical() {
 
 #[test]
 fn trials_are_reproducible_but_distinct() {
-    let cfg = MergeConfig::paper_inter(25, 5, 5, 500);
+    let cfg = ScenarioBuilder::new(25, 5).inter(5).cache_blocks(500).build().unwrap();
     let a = run_trials(&cfg, 4).unwrap();
     let b = run_trials(&cfg, 4).unwrap();
     for (x, y) in a.reports.iter().zip(&b.reports) {
@@ -37,7 +37,7 @@ fn trials_are_reproducible_but_distinct() {
 
 #[test]
 fn sync_mode_changes_results_but_not_request_count() {
-    let mut cfg = MergeConfig::paper_intra(25, 5, 10);
+    let mut cfg = ScenarioBuilder::new(25, 5).intra(10).build().unwrap();
     cfg.seed = 5;
     cfg.sync = SyncMode::Synchronized;
     let sync = MergeSim::run_uniform(cfg).unwrap();
@@ -77,7 +77,7 @@ fn workload_builders_are_stable() {
 #[test]
 fn replayed_scenario_specs_reproduce_results() {
     use pm_workload::spec::ScenarioSpec;
-    let mut cfg = MergeConfig::paper_inter(25, 5, 10, 900);
+    let mut cfg = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(900).build().unwrap();
     cfg.seed = 41;
     let direct = MergeSim::run_uniform(cfg).unwrap();
     let spec = ScenarioSpec::from_config("replay", &cfg);

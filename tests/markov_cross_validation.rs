@@ -8,7 +8,9 @@
 //! all-or-nothing policy.
 
 use pm_analysis::markov::{average_parallelism, Policy};
-use pm_core::{AdmissionPolicy, MergeConfig, MergeSim, PrefetchStrategy, SyncMode, UniformDepletion};
+use pm_core::{
+    AdmissionPolicy, MergeSim, PrefetchStrategy, ScenarioBuilder, SyncMode, UniformDepletion,
+};
 use pm_sim::SimRng;
 
 /// Measures mean fetched blocks per demand op over several trials.
@@ -17,7 +19,7 @@ fn simulated_parallelism(d: u32, cache: u32, policy: AdmissionPolicy, trials: u3
     let mut total_fetched = 0u64;
     let mut total_ops = 0u64;
     for _ in 0..trials {
-        let mut cfg = MergeConfig::paper_no_prefetch(d, d);
+        let mut cfg = ScenarioBuilder::new(d, d).build().unwrap();
         cfg.run_blocks = 2_000;
         cfg.strategy = PrefetchStrategy::InterRun { n: 1 };
         cfg.sync = SyncMode::Unsynchronized;

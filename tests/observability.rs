@@ -9,6 +9,7 @@
 use std::path::PathBuf;
 
 use pm_core::MergeConfig;
+use pm_core::ScenarioBuilder;
 use pm_obs::{
     parse_manifest, render_manifest, render_report, run_suite, ConvergencePolicy, NullProgress,
     PointSpec, RecordKind, SuiteOptions, TrialsMode,
@@ -28,7 +29,7 @@ fn tiny_suite() -> Vec<PointSpec> {
         sweep: Some("tiny intra".into()),
         x: Some(f64::from(n)),
         x_label: Some("prefetch depth N".into()),
-        config: small(MergeConfig::paper_intra(4, 1, n)),
+        config: small(ScenarioBuilder::new(4, 1).intra(n).build().unwrap()),
     };
     vec![
         PointSpec {
@@ -37,7 +38,7 @@ fn tiny_suite() -> Vec<PointSpec> {
             sweep: None,
             x: None,
             x_label: None,
-            config: small(MergeConfig::paper_intra(4, 1, 5)),
+            config: small(ScenarioBuilder::new(4, 1).intra(5).build().unwrap()),
         },
         PointSpec {
             kind: RecordKind::T2Concurrency,
@@ -45,7 +46,7 @@ fn tiny_suite() -> Vec<PointSpec> {
             sweep: None,
             x: None,
             x_label: None,
-            config: small(MergeConfig::paper_intra(4, 2, 5)),
+            config: small(ScenarioBuilder::new(4, 2).intra(5).build().unwrap()),
         },
         sweep_pt(3),
         sweep_pt(6),

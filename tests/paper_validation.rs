@@ -9,7 +9,7 @@
 //! band.
 
 use pm_analysis::{bounds, equations, ModelParams};
-use pm_core::{run_trials, MergeConfig, SyncMode};
+use pm_core::{MergeConfig, ScenarioBuilder, SyncMode, run_trials};
 use pm_stats::relative_error;
 
 const TRIALS: u32 = 3;
@@ -24,7 +24,7 @@ fn sim_secs(cfg: &MergeConfig) -> f64 {
 
 #[test]
 fn eq1_single_disk_no_prefetch_k25() {
-    let sim = sim_secs(&MergeConfig::paper_no_prefetch(25, 1));
+    let sim = sim_secs(&ScenarioBuilder::new(25, 1).build().unwrap());
     let analytic = equations::total_seconds(&params(), 25, equations::tau_single_no_prefetch(&params(), 25));
     // Paper: estimated 360.0 s, simulated ≈ 361 s.
     assert!(
@@ -35,7 +35,7 @@ fn eq1_single_disk_no_prefetch_k25() {
 
 #[test]
 fn eq1_single_disk_no_prefetch_k50() {
-    let sim = sim_secs(&MergeConfig::paper_no_prefetch(50, 1));
+    let sim = sim_secs(&ScenarioBuilder::new(50, 1).build().unwrap());
     let analytic = equations::total_seconds(&params(), 50, equations::tau_single_no_prefetch(&params(), 50));
     // Paper: ≈ 915 s.
     assert!(
@@ -47,7 +47,7 @@ fn eq1_single_disk_no_prefetch_k50() {
 #[test]
 fn eq2_single_disk_intra_run() {
     for (k, n, _paper_secs) in [(25u32, 16u32, 73.1), (25, 30, 64.2), (50, 16, 158.4)] {
-        let sim = sim_secs(&MergeConfig::paper_intra(k, 1, n));
+        let sim = sim_secs(&ScenarioBuilder::new(k, 1).intra(n).build().unwrap());
         let analytic = equations::total_seconds(&params(), k, equations::tau_single_intra(&params(), k, n));
         assert!(
             relative_error(sim, analytic) < 0.03,
@@ -59,7 +59,7 @@ fn eq2_single_disk_intra_run() {
 #[test]
 fn eq3_multi_disk_no_prefetch() {
     for (k, d) in [(25u32, 5u32), (50, 10)] {
-        let sim = sim_secs(&MergeConfig::paper_no_prefetch(k, d));
+        let sim = sim_secs(&ScenarioBuilder::new(k, d).build().unwrap());
         let analytic =
             equations::total_seconds(&params(), k, equations::tau_multi_no_prefetch(&params(), k, d));
         // Paper: 281.9 s (k=25, D=5) and 563.5 s (k=50, D=10).
@@ -73,7 +73,7 @@ fn eq3_multi_disk_no_prefetch() {
 #[test]
 fn eq4_multi_disk_intra_synchronized() {
     for (k, d, n) in [(25u32, 5u32, 30u32), (25, 5, 10)] {
-        let mut cfg = MergeConfig::paper_intra(k, d, n);
+        let mut cfg = ScenarioBuilder::new(k, d).intra(n).build().unwrap();
         cfg.sync = SyncMode::Synchronized;
         let sim = sim_secs(&cfg);
         let analytic =
@@ -89,7 +89,7 @@ fn eq4_multi_disk_intra_synchronized() {
 #[test]
 fn eq5_inter_run_synchronized() {
     // k=25, D=5, N=10, cache large enough for success ratio ≈ 1.
-    let mut cfg = MergeConfig::paper_inter(25, 5, 10, 2000);
+    let mut cfg = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(2000).build().unwrap();
     cfg.sync = SyncMode::Synchronized;
     let summary = run_trials(&cfg, TRIALS).unwrap();
     let sim = summary.mean_total_secs;
@@ -109,7 +109,7 @@ fn urn_game_concurrency_of_unsync_intra() {
     // Unsynchronized intra-run prefetching at large N: measured disk
     // concurrency approaches the urn-game prediction (exact E[L]:
     // 2.51 for D=5).
-    let cfg = MergeConfig::paper_intra(25, 5, 30);
+    let cfg = ScenarioBuilder::new(25, 5).intra(30).build().unwrap();
     let summary = run_trials(&cfg, TRIALS).unwrap();
     let predicted = pm_analysis::urn::expected_concurrency(5);
     assert!(
@@ -123,7 +123,7 @@ fn urn_game_concurrency_of_unsync_intra() {
 fn unsync_intra_asymptotic_time() {
     // Paper: k=25, D=5, N=30 unsynchronized ≈ 28-29 s simulated (the
     // asymptotic estimate 24.9 s is not yet reached at N=30).
-    let sim = sim_secs(&MergeConfig::paper_intra(25, 5, 30));
+    let sim = sim_secs(&ScenarioBuilder::new(25, 5).intra(30).build().unwrap());
     let asymptotic = bounds::intra_unsync_asymptotic_secs(&params(), 25, 5, 30);
     assert!(sim > asymptotic, "sim={sim:.1}s must exceed asymptote {asymptotic:.1}s");
     assert!(
@@ -136,7 +136,7 @@ fn unsync_intra_asymptotic_time() {
 fn inter_run_approaches_transfer_bound_with_big_cache() {
     // k=25, D=5, N=50, huge cache: the paper reports ≈ 12.2 s against the
     // 10.8 s lower bound.
-    let cfg = MergeConfig::paper_inter(25, 5, 50, 4000);
+    let cfg = ScenarioBuilder::new(25, 5).inter(50).cache_blocks(4000).build().unwrap();
     let sim = sim_secs(&cfg);
     let bound = bounds::multi_disk_lower_bound_secs(&params(), 25, 5);
     assert!(sim >= bound, "sim={sim:.1}s below bound {bound:.1}s");
@@ -151,8 +151,8 @@ fn superlinear_speedup_over_single_disk_baseline() {
     // The headline claim: prefetching with D disks yields superlinear
     // speedup over the single-disk demand baseline (seek reduction +
     // latency amortization + concurrency).
-    let baseline = sim_secs(&MergeConfig::paper_no_prefetch(25, 1));
-    let inter = sim_secs(&MergeConfig::paper_inter(25, 5, 10, 1200));
+    let baseline = sim_secs(&ScenarioBuilder::new(25, 1).build().unwrap());
+    let inter = sim_secs(&ScenarioBuilder::new(25, 5).inter(10).cache_blocks(1200).build().unwrap());
     let speedup = baseline / inter;
     assert!(speedup > 5.0, "speedup {speedup:.1} should exceed D = 5");
 }

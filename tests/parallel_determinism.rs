@@ -7,7 +7,7 @@
 //! paper's numbers are reproduced.
 
 use pm_core::{
-    run_trials, run_trials_parallel, MergeConfig, MergeSim, TrialSummary, UniformDepletion,
+    MergeConfig, MergeSim, ScenarioBuilder, TrialSummary, UniformDepletion, run_trials, run_trials_parallel,
 };
 use pm_sim::derive_seeds;
 
@@ -15,10 +15,10 @@ use pm_sim::derive_seeds;
 fn config_grid() -> Vec<(String, MergeConfig)> {
     let mut grid = Vec::new();
     for d in [1u32, 5] {
-        let mut intra = MergeConfig::paper_intra(8, d, 4);
+        let mut intra = ScenarioBuilder::new(8, d).intra(4).build().unwrap();
         intra.run_blocks = 40;
         grid.push((format!("intra D={d}"), intra));
-        let mut inter = MergeConfig::paper_inter(8, d, 4, 8 * 4 + 20);
+        let mut inter = ScenarioBuilder::new(8, d).inter(4).cache_blocks(8 * 4 + 20).build().unwrap();
         inter.run_blocks = 40;
         grid.push((format!("inter D={d}"), inter));
     }
@@ -104,7 +104,7 @@ fn jobs_zero_uses_all_cores_and_stays_identical() {
 fn trial_order_is_the_derived_seed_order() {
     // Trial i's report must land at index i: re-simulating seed i directly
     // reproduces exactly reports[i], for a worker pool of any size.
-    let mut cfg = MergeConfig::paper_inter(6, 3, 3, 6 * 3 + 10);
+    let mut cfg = ScenarioBuilder::new(6, 3).inter(3).cache_blocks(6 * 3 + 10).build().unwrap();
     cfg.run_blocks = 30;
     let seeds = derive_seeds(cfg.seed, 6);
     let par = run_trials_parallel(&cfg, 6, 4).expect("valid config");
@@ -122,7 +122,7 @@ fn trial_order_is_the_derived_seed_order() {
 fn summary_aggregates_recompute_from_reports() {
     // from_reports is a pure function of the (ordered) reports, so the
     // parallel summary must equal re-aggregating the sequential reports.
-    let mut cfg = MergeConfig::paper_intra(10, 5, 6);
+    let mut cfg = ScenarioBuilder::new(10, 5).intra(6).build().unwrap();
     cfg.run_blocks = 50;
     let seq = run_trials(&cfg, 7).expect("valid config");
     let par = run_trials_parallel(&cfg, 7, 8).expect("valid config");

@@ -3,7 +3,7 @@
 //! closed form the paper builds on (`P(x=0) = 1/k`,
 //! `P(x=i) = 2(k−i)/k²`).
 
-use pm_core::{MergeConfig, MergeSim, UniformDepletion};
+use pm_core::{MergeConfig, MergeSim, ScenarioBuilder, UniformDepletion};
 use pm_disk::{DiskArray, DiskId};
 use pm_sim::SimRng;
 
@@ -83,7 +83,7 @@ fn simulator_seek_totals_match_the_formulas_seek_term() {
     // The eq-1 seek term alone: m·(k/3)·S per access. Compare against the
     // simulator's aggregated seek time for the single-disk baseline.
     let k = 25u32;
-    let cfg = MergeConfig::paper_no_prefetch(k, 1);
+    let cfg = ScenarioBuilder::new(k, 1).build().unwrap();
     let report = MergeSim::new(MergeConfig { seed: 23, ..cfg })
         .unwrap()
         .run(&mut UniformDepletion);

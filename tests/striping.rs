@@ -3,13 +3,13 @@
 //! (striping vs. independent disks with inter-run prefetching).
 
 use pm_analysis::{equations, ModelParams};
-use pm_core::{run_trials, DataLayout, MergeConfig, PrefetchStrategy, SyncMode};
+use pm_core::{DataLayout, MergeConfig, PrefetchStrategy, ScenarioBuilder, SyncMode, run_trials};
 use pm_stats::relative_error;
 
 const TRIALS: u32 = 3;
 
 fn striped_intra(k: u32, d: u32, n: u32) -> MergeConfig {
-    let mut cfg = MergeConfig::paper_intra(k, d, n);
+    let mut cfg = ScenarioBuilder::new(k, d).intra(n).build().unwrap();
     cfg.layout = DataLayout::Striped;
     cfg
 }
@@ -34,7 +34,7 @@ fn striped_sync_matches_closed_form() {
 fn striping_beats_concatenated_intra_run() {
     // Same strategy and cache; striping parallelizes every fetch.
     let striped = run_trials(&striped_intra(25, 5, 10), TRIALS).unwrap().mean_total_secs;
-    let concat = run_trials(&MergeConfig::paper_intra(25, 5, 10), TRIALS)
+    let concat = run_trials(&ScenarioBuilder::new(25, 5).intra(10).build().unwrap(), TRIALS)
         .unwrap()
         .mean_total_secs;
     // Unsynchronized concatenated intra-run already overlaps ~sqrt(D)
@@ -56,7 +56,7 @@ fn inter_run_beats_striping_at_equal_cache() {
     let mut striped = striped_intra(25, 5, n);
     striped.cache_blocks = cache;
     let striped_secs = run_trials(&striped, TRIALS).unwrap().mean_total_secs;
-    let inter = MergeConfig::paper_inter(25, 5, n, cache);
+    let inter = ScenarioBuilder::new(25, 5).inter(n).cache_blocks(cache).build().unwrap();
     let inter_secs = run_trials(&inter, TRIALS).unwrap().mean_total_secs;
     assert!(
         inter_secs < striped_secs,
@@ -77,7 +77,7 @@ fn striped_fits_workloads_concatenation_cannot() {
 
 #[test]
 fn striped_rejects_inter_run() {
-    let mut cfg = MergeConfig::paper_inter(25, 5, 10, 1000);
+    let mut cfg = ScenarioBuilder::new(25, 5).inter(10).cache_blocks(1000).build().unwrap();
     cfg.layout = DataLayout::Striped;
     assert!(matches!(
         cfg.validate(),
@@ -99,11 +99,11 @@ fn no_prefetch_striped_still_profits_from_parallel_blocks() {
     // Even N=1 striping helps nothing (one block at a time touches one
     // disk), so striped N=1 ≈ concatenated N=1 — the gain comes only from
     // multi-block operations.
-    let mut striped = MergeConfig::paper_no_prefetch(25, 5);
+    let mut striped = ScenarioBuilder::new(25, 5).build().unwrap();
     striped.layout = DataLayout::Striped;
     striped.strategy = PrefetchStrategy::IntraRun { n: 1 };
     let s = run_trials(&striped, TRIALS).unwrap().mean_total_secs;
-    let c = run_trials(&MergeConfig::paper_no_prefetch(25, 5), TRIALS)
+    let c = run_trials(&ScenarioBuilder::new(25, 5).build().unwrap(), TRIALS)
         .unwrap()
         .mean_total_secs;
     assert!(relative_error(s, c) < 0.05, "striped {s:.1} vs concat {c:.1}");

@@ -14,15 +14,14 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use pm_core::{
-    run_trials_parallel, run_trials_traced, EventKind, MergeConfig, MergeSim, PrefetchStrategy,
-    RecordingSink, SyncMode, TraceEvent, UniformDepletion,
+    EventKind, MergeConfig, MergeSim, PrefetchStrategy, RecordingSink, ScenarioBuilder, SyncMode, TraceEvent, UniformDepletion, run_trials_parallel, run_trials_traced,
 };
 use pm_trace::export::chrome_trace_json;
 
 /// The pinned golden scenario: small enough that its Chrome trace stays
 /// reviewable, and exercising both disks, queueing, and demand misses.
 fn golden_cfg() -> MergeConfig {
-    let mut cfg = MergeConfig::paper_no_prefetch(2, 2);
+    let mut cfg = ScenarioBuilder::new(2, 2).build().unwrap();
     cfg.run_blocks = 4;
     cfg.strategy = PrefetchStrategy::IntraRun { n: 2 };
     cfg.sync = SyncMode::Unsynchronized;
@@ -69,7 +68,7 @@ fn event_streams_are_well_formed() {
         ),
     ];
     for (strategy, sync, write_disks) in scenarios {
-        let mut cfg = MergeConfig::paper_no_prefetch(6, 3);
+        let mut cfg = ScenarioBuilder::new(6, 3).build().unwrap();
         cfg.run_blocks = 30;
         cfg.strategy = strategy;
         cfg.sync = sync;
@@ -133,7 +132,7 @@ fn event_streams_are_well_formed() {
 
 #[test]
 fn traced_runs_match_untraced_and_traces_match_across_jobs() {
-    let mut cfg = MergeConfig::paper_no_prefetch(6, 3);
+    let mut cfg = ScenarioBuilder::new(6, 3).build().unwrap();
     cfg.run_blocks = 40;
     cfg.strategy = PrefetchStrategy::InterRun { n: 3 };
     cfg.cache_blocks = 4 * 6 * 3;
