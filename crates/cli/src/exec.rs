@@ -19,11 +19,12 @@
 
 use std::sync::Arc;
 
-use pm_core::{PmError, PrefetchStrategy, ScenarioBuilder, SyncMode};
+use pm_core::{ConfigError, PmError, PrefetchStrategy, ScenarioBuilder, SyncMode};
 use pm_engine::{
     disk_seed_for, ExecConfig, ExecOutcome, FileDevice, LatencyDevice, MemoryDevice, MergeEngine,
-    RECORD_BYTES,
+    MultiPassExecutor, MultiPassOptions, MultiPassOutcome, PassBackend, RECORD_BYTES,
 };
+use pm_extsort::plan::{min_passes, plan_merge_tree, PlanPolicy};
 use pm_extsort::{generate, run_formation, Record};
 use pm_obs::{
     Bound, DiskRollup, ManifestRecord, PointMetrics, RecordKind, ResidualCheck, TraceRollup,
@@ -43,6 +44,8 @@ const EXEC_KEYS: &[&str] = &[
     "disks", "strategy", "n", "cache", "sync", "admission", "choice", "cap", "layout", "seed",
     // Execution.
     "backend", "dir", "jobs", "queue", "time-scale",
+    // Multi-pass planning (presence of either selects the multi-pass path).
+    "fan-in", "passes", "plan-policy",
     // Outputs and checks.
     "out", "trace-out", "trace-format", "manifest-out", "tol-exec",
 ];
@@ -104,8 +107,14 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
         }
     };
 
+    // Multi-pass path: the user bounded the fan-in (or the pass count).
+    if args.get("fan-in").is_some() || args.get("passes").is_some() {
+        return exec_multipass(args, backend, &input, runs, rpb, seed, tol_exec);
+    }
+
     // Phase 2: plan the merge. The run count comes from the data.
-    let cfg = scenario_for(args, runs.len() as u32, seed)?;
+    let cfg = scenario_for(args, runs.len() as u32, seed)
+        .map_err(|e| fan_in_hint(args, e, runs.len() as u32))?;
     let mut exec_cfg = ExecConfig::new(cfg);
     exec_cfg.records_per_block = rpb;
     exec_cfg.queue_capacity = args.get_parsed("queue", 64usize)?;
@@ -164,7 +173,7 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
     };
 
     // Phase 4: verify against the in-memory reference.
-    verify_output(&outcome, &input)?;
+    verify_output(&outcome.output, &input)?;
     println!(
         "verified: {} records merged in key order, multiset-identical to the input",
         outcome.output.len()
@@ -247,17 +256,396 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
     }
 }
 
+/// Maps the cache-validation failure for an over-wide merge onto
+/// [`ConfigError::FanInExceeded`], which tells the user how wide the
+/// cache can actually go and points at `pmerge plan`.
+fn fan_in_hint(args: &Args, err: PmError, runs: u32) -> PmError {
+    match err {
+        PmError::Config(ConfigError::CacheTooSmall { have, need }) => match parse_strategy(args) {
+            Ok(strategy) => {
+                let fan_in = ScenarioBuilder::max_feasible_fan_in(have, strategy);
+                if fan_in < runs {
+                    ConfigError::FanInExceeded { runs, fan_in }.into()
+                } else {
+                    PmError::Config(ConfigError::CacheTooSmall { have, need })
+                }
+            }
+            Err(e) => e,
+        },
+        e => e,
+    }
+}
+
+/// The fan-in bound for a multi-pass execution: `--fan-in` verbatim, or
+/// the smallest fan-in that finishes within `--passes` passes.
+fn resolve_fan_in(args: &Args, k: u32) -> Result<u32, PmError> {
+    if args.get("fan-in").is_some() {
+        let f: u32 = args.get_parsed("fan-in", 0u32)?;
+        if f < 2 {
+            return Err(PmError::Usage("--fan-in must be at least 2".into()));
+        }
+        if args.get("passes").is_some() {
+            return Err(PmError::Usage(
+                "--fan-in and --passes are mutually exclusive".into(),
+            ));
+        }
+        return Ok(f);
+    }
+    let p: u32 = args.get_parsed("passes", 0u32)?;
+    if p == 0 {
+        return Err(PmError::Usage("--passes must be positive".into()));
+    }
+    let mut f = 2u32;
+    while min_passes(k, f) > p {
+        f += 1;
+    }
+    Ok(f)
+}
+
+/// `pmerge exec --fan-in F` / `--passes P`: plan a merge tree, execute
+/// it pass by pass, verify the final output, and report per-pass costs.
+fn exec_multipass(
+    args: &Args,
+    backend: Backend,
+    input: &[Record],
+    runs: Vec<Vec<Record>>,
+    rpb: u32,
+    seed: u64,
+    tol_exec: f64,
+) -> Result<(), PmError> {
+    let k = runs.len() as u32;
+    let fan_in_cap = resolve_fan_in(args, k)?;
+    let policy = PlanPolicy::parse(args.get("plan-policy").unwrap_or("greedy-max"))?;
+    let lens: Vec<u32> = runs
+        .iter()
+        .map(|r| (r.len() as u32).div_ceil(rpb).max(1))
+        .collect();
+    let plan = plan_merge_tree(&lens, fan_in_cap, policy)?;
+
+    // The base scenario is sized for one full-width group; every pass
+    // derives its own depth/cap/seed from it.
+    let base = scenario_for(args, fan_in_cap.min(k), seed)
+        .map_err(|e| fan_in_hint(args, e, fan_in_cap.min(k)))?;
+    let opts = MultiPassOptions {
+        records_per_block: rpb,
+        queue_capacity: args.get_parsed("queue", 64usize)?,
+        jobs: args.get_parsed("jobs", 0usize)?,
+        time_scale: args.get_parsed("time-scale", 1.0f64)?,
+    };
+    let (pass_backend, temp_dir) = match backend {
+        Backend::Memory => (PassBackend::Memory, None),
+        Backend::Latency => (PassBackend::Latency, None),
+        Backend::File => {
+            let root = match args.get("dir") {
+                Some(d) => std::path::PathBuf::from(d),
+                None => std::env::temp_dir().join(format!("pmerge-exec-{}", std::process::id())),
+            };
+            let temp = args.get("dir").is_none().then(|| root.clone());
+            (PassBackend::File { root }, temp)
+        }
+    };
+    println!(
+        "formed {} runs from {} records ({} per block); {} plan: fan-in {} (cap {}), {} passes, {} blocks read per the plan; {} backend",
+        k,
+        input.len(),
+        rpb,
+        policy.label(),
+        plan.fan_in,
+        fan_in_cap,
+        plan.num_passes(),
+        plan.total_blocks_read(),
+        backend.label(),
+    );
+    if let PassBackend::File { root } = &pass_backend {
+        println!("staging under {}", root.display());
+    }
+
+    let out = MultiPassExecutor::new(&plan, base, opts, pass_backend).run(runs)?;
+    if let Some(dir) = temp_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    verify_output(&out.output, input)?;
+    println!(
+        "verified: {} records merged in key order, multiset-identical to the input",
+        out.output.len()
+    );
+    let merged_total: u32 = out.passes.iter().map(|p| p.merged_groups).sum();
+    println!(
+        "sim cross-check: simulator re-derives the request sequences of all {merged_total} merged groups exactly"
+    );
+
+    // Per-pass residuals on the latency backend: modeled busy time vs
+    // the simulator's prediction, pass by pass.
+    let residuals: Vec<Option<ResidualCheck>> = out
+        .passes
+        .iter()
+        .map(|p| {
+            (backend == Backend::Latency && p.predicted_busy.as_secs_f64() > 0.0).then(|| {
+                ResidualCheck::evaluate(
+                    format!("pass-{}-read-time", p.pass + 1),
+                    p.predicted_busy.as_secs_f64(),
+                    p.modeled_busy.as_secs_f64(),
+                    tol_exec,
+                    Bound::TwoSided,
+                )
+            })
+        })
+        .collect();
+
+    print_multipass_report(&out, &residuals);
+
+    // Exports.
+    if let Some(path) = args.get("out") {
+        write_output(path, &out.output)?;
+        println!("wrote {path} ({} records)", out.output.len());
+    }
+    if let Some(path) = args.get("trace-out") {
+        let rendered = match args.get("trace-format").unwrap_or("chrome") {
+            "chrome" => export::chrome_trace_json(&out.events),
+            "csv" => export::csv(&out.events),
+            "gantt" => export::gantt(&out.events, &export::GanttOptions::default()),
+            other => {
+                return Err(PmError::Usage(format!(
+                    "unknown trace format '{other}' (chrome | csv | gantt)"
+                )))
+            }
+        };
+        std::fs::write(path, rendered)
+            .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.get("manifest-out") {
+        let mut lines = String::new();
+        for record in multipass_manifest(backend, &base, &plan, &out, &residuals) {
+            lines.push_str(&record.to_json_line());
+            lines.push('\n');
+        }
+        std::fs::write(path, lines)
+            .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
+        println!("wrote {path}");
+    }
+
+    let failed: Vec<&ResidualCheck> = residuals
+        .iter()
+        .flatten()
+        .filter(|r| !r.pass)
+        .collect();
+    if let Some(worst) = failed
+        .iter()
+        .max_by(|a, b| {
+            let da = (a.ratio - 1.0).abs();
+            let db = (b.ratio - 1.0).abs();
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    {
+        return Err(PmError::Tolerance(format!(
+            "{} of {} passes off the simulator's prediction; worst ({}) by {:.1}% (tolerance {:.1}%)",
+            failed.len(),
+            out.passes.len(),
+            worst.kind,
+            (worst.ratio - 1.0).abs() * 100.0,
+            tol_exec * 100.0,
+        )));
+    }
+    Ok(())
+}
+
+/// Prints the per-pass cost breakdown of a multi-pass execution.
+fn print_multipass_report(out: &MultiPassOutcome, residuals: &[Option<ResidualCheck>]) {
+    let mut t = Table::new(vec![
+        "pass".into(),
+        "fan-in".into(),
+        "inputs".into(),
+        "merged/groups".into(),
+        "blocks".into(),
+        "records".into(),
+        "wall (s)".into(),
+        "stall (s)".into(),
+        "sim read (s)".into(),
+        "check".into(),
+    ]);
+    for i in 1..9 {
+        t.set_align(i, Align::Right);
+    }
+    for (p, r) in out.passes.iter().zip(residuals) {
+        t.add_row(vec![
+            (p.pass + 1).to_string(),
+            p.fan_in.to_string(),
+            p.inputs.to_string(),
+            format!("{}/{}", p.merged_groups, p.groups),
+            p.blocks_read.to_string(),
+            p.records_merged.to_string(),
+            format!("{:.3}", p.wall.as_secs_f64()),
+            format!("{:.3}", p.stall.as_secs_f64()),
+            format!("{:.3}", p.predicted_read.as_secs_f64()),
+            match r {
+                Some(c) if c.pass => format!("pass ({:.4})", c.ratio),
+                Some(c) => format!("FAIL ({:.4})", c.ratio),
+                None => "-".into(),
+            },
+        ]);
+    }
+    println!("\n{}", t.render());
+    let wall: f64 = out.passes.iter().map(|p| p.wall.as_secs_f64()).sum();
+    let blocks: u64 = out.passes.iter().map(|p| p.blocks_read).sum();
+    println!(
+        "total             {} blocks read across {} passes, {:.3} s wall",
+        blocks,
+        out.passes.len(),
+        wall,
+    );
+}
+
+/// Builds the multi-pass manifest: one `kind: "exec"` record per pass
+/// (1-based `pass` field) plus a whole-tree summary (`pass: null`).
+fn multipass_manifest(
+    backend: Backend,
+    base: &pm_core::MergeConfig,
+    plan: &pm_extsort::plan::MergeTreePlan,
+    out: &MultiPassOutcome,
+    residuals: &[Option<ResidualCheck>],
+) -> Vec<ManifestRecord> {
+    let mut records = Vec::with_capacity(out.passes.len() + 1);
+    let total = out.passes.len();
+    for (p, r) in out.passes.iter().zip(residuals) {
+        let cfg = p.scenario.as_ref().unwrap_or(base);
+        records.push(ManifestRecord {
+            schema: SCHEMA_VERSION,
+            kind: RecordKind::EngineExec,
+            label: format!(
+                "exec: {} backend, {} pass {}/{}, {}-way",
+                backend.label(),
+                plan.policy.label(),
+                p.pass + 1,
+                total,
+                p.fan_in,
+            ),
+            pass: Some(p.pass + 1),
+            sweep: None,
+            x: None,
+            x_label: None,
+            scenario: ScenarioSpec::from_config(
+                format!("exec-{}-pass{}", backend.label(), p.pass + 1),
+                cfg,
+            ),
+            master_seed: base.seed,
+            trials: 1,
+            auto: None,
+            metrics: PointMetrics {
+                mean_total_secs: p.wall.as_secs_f64(),
+                ci_half_width_secs: 0.0,
+                confidence: 0.95,
+                mean_concurrency: p.sim_concurrency,
+                mean_busy_disks: p.sim_busy_disks,
+                mean_success_ratio: None,
+                blocks_merged: p.blocks_read,
+            },
+            analytic: r.clone(),
+            trace: None,
+        });
+    }
+    let wall: f64 = out.passes.iter().map(|p| p.wall.as_secs_f64()).sum();
+    let blocks: u64 = out.passes.iter().map(|p| p.blocks_read).sum();
+    let predicted: f64 = out.passes.iter().map(|p| p.predicted_busy.as_secs_f64()).sum();
+    let measured: f64 = out.passes.iter().map(|p| p.modeled_busy.as_secs_f64()).sum();
+    let weight: f64 = out.passes.iter().map(|p| p.predicted_read.as_secs_f64()).sum();
+    let (conc, busy) = if weight > 0.0 {
+        (
+            out.passes
+                .iter()
+                .map(|p| p.sim_concurrency * p.predicted_read.as_secs_f64())
+                .sum::<f64>()
+                / weight,
+            out.passes
+                .iter()
+                .map(|p| p.sim_busy_disks * p.predicted_read.as_secs_f64())
+                .sum::<f64>()
+                / weight,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    let summary_residual = (backend == Backend::Latency && predicted > 0.0).then(|| {
+        ResidualCheck::evaluate(
+            "engine-read-time",
+            predicted,
+            measured,
+            residuals
+                .iter()
+                .flatten()
+                .next()
+                .map_or(0.02, |r| r.tolerance),
+            Bound::TwoSided,
+        )
+    });
+    let m = TraceMetrics::from_events(&out.events);
+    let span_ns = m.span_end.as_nanos() as f64;
+    let disks = m
+        .input_disks
+        .iter()
+        .map(|lane| DiskRollup {
+            utilization: lane.utilization(m.span_end),
+            requests: lane.requests,
+            sequential: lane.sequential,
+            avg_queue_depth: lane.queue_depth.average_until(span_ns).unwrap_or(0.0),
+        })
+        .collect();
+    records.push(ManifestRecord {
+        schema: SCHEMA_VERSION,
+        kind: RecordKind::EngineExec,
+        label: format!(
+            "exec: {} backend, k={}, D={}, {}, {} x{} passes",
+            backend.label(),
+            plan.passes.first().map_or(0, |p| p.run_blocks.len()),
+            base.disks,
+            base.strategy.label(),
+            plan.policy.label(),
+            total,
+        ),
+        pass: None,
+        sweep: None,
+        x: None,
+        x_label: None,
+        scenario: ScenarioSpec::from_config(format!("exec-{}-multipass", backend.label()), base),
+        master_seed: base.seed,
+        trials: 1,
+        auto: None,
+        metrics: PointMetrics {
+            mean_total_secs: wall,
+            ci_half_width_secs: 0.0,
+            confidence: 0.95,
+            mean_concurrency: conc,
+            mean_busy_disks: busy,
+            mean_success_ratio: None,
+            blocks_merged: blocks,
+        },
+        analytic: summary_residual,
+        trace: Some(TraceRollup { disks }),
+    });
+    records
+}
+
+/// Parses the `--strategy`/`--n` pair shared by `exec` and `plan`.
+pub(crate) fn parse_strategy(args: &Args) -> Result<PrefetchStrategy, PmError> {
+    let n: u32 = args.get_parsed("n", 4)?;
+    match args.get("strategy").unwrap_or("inter") {
+        "none" => Ok(PrefetchStrategy::None),
+        "intra" => Ok(PrefetchStrategy::IntraRun { n }),
+        "inter" => Ok(PrefetchStrategy::InterRun { n }),
+        "adaptive" => Ok(PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: n }),
+        other => Err(PmError::Usage(format!("unknown strategy '{other}'"))),
+    }
+}
+
 /// Builds the merge scenario for `exec`: the shared scenario flags, with
 /// the run count fixed by run formation rather than `--runs`.
-fn scenario_for(args: &Args, runs: u32, seed: u64) -> Result<pm_core::MergeConfig, PmError> {
-    let n: u32 = args.get_parsed("n", 4)?;
-    let strategy = match args.get("strategy").unwrap_or("inter") {
-        "none" => PrefetchStrategy::None,
-        "intra" => PrefetchStrategy::IntraRun { n },
-        "inter" => PrefetchStrategy::InterRun { n },
-        "adaptive" => PrefetchStrategy::InterRunAdaptive { n_min: 1, n_max: n },
-        other => return Err(PmError::Usage(format!("unknown strategy '{other}'"))),
-    };
+pub(crate) fn scenario_for(
+    args: &Args,
+    runs: u32,
+    seed: u64,
+) -> Result<pm_core::MergeConfig, PmError> {
+    let strategy = parse_strategy(args)?;
     let admission = match args.get("admission").unwrap_or("all-or-nothing") {
         "all-or-nothing" | "aon" => pm_core::AdmissionPolicy::AllOrNothing,
         "greedy" => pm_core::AdmissionPolicy::Greedy,
@@ -295,11 +683,11 @@ fn scenario_for(args: &Args, runs: u32, seed: u64) -> Result<pm_core::MergeConfi
 
 /// The merged output must be in key order and contain exactly the input
 /// records.
-fn verify_output(outcome: &ExecOutcome, input: &[Record]) -> Result<(), PmError> {
-    if !outcome.output.windows(2).all(|w| w[0].key <= w[1].key) {
+fn verify_output(output: &[Record], input: &[Record]) -> Result<(), PmError> {
+    if !output.windows(2).all(|w| w[0].key <= w[1].key) {
         return Err(PmError::Tolerance("merged output is out of key order".into()));
     }
-    let mut got: Vec<Record> = outcome.output.clone();
+    let mut got: Vec<Record> = output.to_vec();
     got.sort_by_key(|r| (r.key, r.rid));
     let mut want: Vec<Record> = input.to_vec();
     want.sort_by_key(|r| (r.key, r.rid));
@@ -393,6 +781,7 @@ fn manifest_record(
             cfg.disks,
             cfg.strategy.label(),
         ),
+        pass: None,
         sweep: None,
         x: None,
         x_label: None,

@@ -11,6 +11,7 @@ mod args;
 mod batch;
 mod commands;
 mod exec;
+mod plan;
 
 use args::Args;
 use pm_core::PmError;
@@ -39,6 +40,9 @@ COMMANDS:
                engine: generate records, form runs, merge them against
                a pluggable block-device backend, verify the output, and
                cross-check the engine against the simulator
+    plan       Preview a multi-pass merge schedule: per-pass fan-in,
+               groups, blocks read, and the simulator's predicted read
+               time under the greedy-max and balanced policies
 
 SCENARIO OPTIONS (simulate, sweep):
     --runs <k>          number of sorted runs            [default: 25]
@@ -114,9 +118,29 @@ formation, so --runs/--blocks/--trials do not apply):
     --out <path>        write the merged records (16-byte LE pairs)
     --trace-out <path>  export the engine's event stream
     --trace-format <f>  chrome | csv | gantt             [default: chrome]
-    --manifest-out <p>  write a one-record JSONL manifest (kind \"exec\")
+    --manifest-out <p>  write a JSONL manifest (kind \"exec\"): one record
+                        single-pass; per-pass records plus a summary when
+                        multi-pass
     --tol-exec <f>      latency backend: two-sided tolerance on modeled
                         read time vs the simulator       [default: 0.02]
+    --fan-in <F>        merge at most F runs per group; plans and runs a
+                        multi-pass merge tree when k exceeds F
+    --passes <P>        instead of --fan-in: use the smallest fan-in that
+                        finishes in P passes
+    --plan-policy <p>   greedy-max | balanced            [default: greedy-max]
+
+PLAN OPTIONS (scenario flags as above; no merge is executed):
+    --runs <k>          plan k uniform runs              [default: 25]
+    --blocks <B>        blocks per uniform run           [default: 1000]
+    --records <n>       instead of --runs: derive the run population from
+                        a real run-formation pass (--memory, --formation,
+                        --rpb as for exec)
+    --fan-in <F>        bound every merge group to F runs
+    --passes <P>        bound the tree to P passes (smallest viable fan-in)
+    --cache <C>         without --fan-in/--passes: derive the fan-in bound
+                        from this cache budget and the strategy
+    --plan-policy <p>   greedy-max | balanced | both     [default: both]
+    --json              emit the schedule as one JSON object
 ";
 
 fn main() {
@@ -136,6 +160,7 @@ fn main() {
         Some("validate") => commands::validate(&args),
         Some("report") => commands::report(&args),
         Some("exec") => exec::exec(&args),
+        Some("plan") => plan::plan(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

@@ -81,6 +81,84 @@ impl ScenarioBuilder {
         }
     }
 
+    /// The largest merge fan-in a cache of `cache_blocks` frames can
+    /// execute at all with `strategy`: the initial load pins `depth`
+    /// frames per input run, so any more runs than `cache / depth`
+    /// cannot even start.
+    #[must_use]
+    pub fn max_feasible_fan_in(cache_blocks: u32, strategy: PrefetchStrategy) -> u32 {
+        cache_blocks / strategy.depth().max(1)
+    }
+
+    /// The largest fan-in a cache supports *comfortably* — the inverse
+    /// of [`ScenarioBuilder::default_cache_blocks`]: inter-run
+    /// strategies budget `4·depth` frames per run so prefetch
+    /// operations have free frames to win, other strategies `depth`.
+    /// Multi-pass planning bounds group sizes by this, not by the bare
+    /// feasible maximum.
+    #[must_use]
+    pub fn planned_fan_in(cache_blocks: u32, strategy: PrefetchStrategy) -> u32 {
+        let mult = if strategy.is_inter_run() { 4 } else { 1 };
+        cache_blocks / (strategy.depth().max(1) * mult)
+    }
+
+    /// Derives the scenario one merge group of a multi-pass plan
+    /// executes: `base`'s disks, admission, choice, discipline and disk
+    /// model, but with the group's run count, a prefetch depth
+    /// re-derived from the shared cache budget (a smaller fan-in buys a
+    /// deeper prefetch), an anti-clogging per-run cap for inter-run
+    /// strategies, and a seed mixed from `(pass, group)` so every group
+    /// draws an independent deterministic stream regardless of backend
+    /// or job count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::Config`] if the derived configuration is
+    /// inconsistent (e.g. the group still does not fit the cache).
+    pub fn pass_scenario(
+        base: &MergeConfig,
+        group_runs: u32,
+        pass: u32,
+        group: u32,
+    ) -> Result<MergeConfig, PmError> {
+        let mut cfg = *base;
+        cfg.runs = group_runs;
+        cfg.disks = base.disks.min(group_runs.max(1));
+        let mult = if base.strategy.is_inter_run() { 4 } else { 1 };
+        let depth = (base.cache_blocks / (mult * group_runs.max(1))).max(1);
+        cfg.strategy = match base.strategy {
+            PrefetchStrategy::None => PrefetchStrategy::None,
+            PrefetchStrategy::IntraRun { .. } => PrefetchStrategy::IntraRun { n: depth },
+            PrefetchStrategy::InterRun { .. } => PrefetchStrategy::InterRun { n: depth },
+            PrefetchStrategy::InterRunAdaptive { n_min, .. } => {
+                PrefetchStrategy::InterRunAdaptive {
+                    n_min: n_min.min(depth),
+                    n_max: depth.max(n_min),
+                }
+            }
+        };
+        if base.strategy.is_inter_run() && base.per_run_cap.is_none() {
+            cfg.per_run_cap =
+                Some((base.cache_blocks / group_runs.max(1)).max(2 * depth));
+        }
+        cfg.seed = Self::pass_seed(base.seed, pass, group);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// The per-(pass, group) seed every multi-pass component derives —
+    /// a splitmix64-style mix so sibling groups never share streams.
+    #[must_use]
+    pub fn pass_seed(master: u64, pass: u32, group: u32) -> u64 {
+        let mut z = master
+            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(
+                1 + u64::from(pass) * 0x0001_0000 + u64::from(group),
+            ));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Sets the number of blocks in every run.
     #[must_use]
     pub fn run_blocks(mut self, blocks: u32) -> Self {
@@ -275,6 +353,76 @@ mod tests {
             .layout(DataLayout::Striped)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn planned_fan_in_inverts_default_cache() {
+        for strategy in [
+            PrefetchStrategy::None,
+            PrefetchStrategy::IntraRun { n: 4 },
+            PrefetchStrategy::InterRun { n: 4 },
+            PrefetchStrategy::InterRunAdaptive { n_min: 2, n_max: 8 },
+        ] {
+            for k in [2, 8, 25] {
+                let cache = ScenarioBuilder::default_cache_blocks(k, strategy);
+                assert_eq!(ScenarioBuilder::planned_fan_in(cache, strategy), k);
+                assert!(ScenarioBuilder::max_feasible_fan_in(cache, strategy) >= k);
+            }
+        }
+    }
+
+    #[test]
+    fn pass_scenario_deepens_prefetch_for_small_groups() {
+        let base = ScenarioBuilder::new(8, 4).inter(4).build().unwrap();
+        assert_eq!(base.cache_blocks, 128);
+        // A 4-run group gets the whole budget: depth 128/(4*4) = 8.
+        let cfg = ScenarioBuilder::pass_scenario(&base, 4, 0, 0).unwrap();
+        assert_eq!(cfg.runs, 4);
+        assert_eq!(cfg.strategy, PrefetchStrategy::InterRun { n: 8 });
+        assert_eq!(cfg.cache_blocks, base.cache_blocks);
+        assert_eq!(cfg.per_run_cap, Some(32));
+        // Full-width groups reproduce the base depth.
+        let cfg = ScenarioBuilder::pass_scenario(&base, 8, 1, 0).unwrap();
+        assert_eq!(cfg.strategy, PrefetchStrategy::InterRun { n: 4 });
+    }
+
+    #[test]
+    fn pass_scenario_seeds_are_distinct_per_group() {
+        let base = ScenarioBuilder::new(8, 2).inter(2).build().unwrap();
+        let mut seeds: Vec<u64> = Vec::new();
+        for pass in 0..3 {
+            for group in 0..3 {
+                seeds.push(
+                    ScenarioBuilder::pass_scenario(&base, 2, pass, group)
+                        .unwrap()
+                        .seed,
+                );
+            }
+        }
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "seed collision: {seeds:?}");
+        // And the derivation is deterministic.
+        assert_eq!(
+            ScenarioBuilder::pass_seed(base.seed, 1, 2),
+            ScenarioBuilder::pass_seed(base.seed, 1, 2)
+        );
+    }
+
+    #[test]
+    fn pass_scenario_respects_cache_budget() {
+        // Derived configs always validate against the shared cache.
+        for strategy in [
+            PrefetchStrategy::IntraRun { n: 3 },
+            PrefetchStrategy::InterRun { n: 3 },
+        ] {
+            let base = ScenarioBuilder::new(6, 3).strategy(strategy).build().unwrap();
+            for kg in 1..=6 {
+                let cfg = ScenarioBuilder::pass_scenario(&base, kg, 0, 0).unwrap();
+                assert!(cfg.min_cache_blocks() <= cfg.cache_blocks);
+            }
+        }
     }
 
     #[test]

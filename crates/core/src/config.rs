@@ -118,6 +118,14 @@ pub enum ConfigError {
         /// Disk capacity in blocks.
         have: u64,
     },
+    /// The merge was asked to combine more runs than the cache can fan
+    /// in at once; a multi-pass plan is required.
+    FanInExceeded {
+        /// Runs the merge was asked to combine.
+        runs: u32,
+        /// Largest fan-in the cache supports.
+        fan_in: u32,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -136,6 +144,12 @@ impl std::fmt::Display for ConfigError {
             ConfigError::DiskTooSmall { need, have } => write!(
                 f,
                 "fullest disk needs {need} blocks but holds only {have}"
+            ),
+            ConfigError::FanInExceeded { runs, fan_in } => write!(
+                f,
+                "{runs} runs exceed the cache-supported fan-in of {fan_in}; \
+                 use 'pmerge plan' to preview a multi-pass schedule and \
+                 'pmerge exec --fan-in <F>' to run it"
             ),
         }
     }
@@ -392,5 +406,9 @@ mod tests {
         let e = ConfigError::CacheTooSmall { have: 1, need: 2 };
         assert!(e.to_string().contains("initial load"));
         assert!(ConfigError::ZeroDepth.to_string().contains('N'));
+        // The fan-in overflow message must point the user at the planner.
+        let e = ConfigError::FanInExceeded { runs: 64, fan_in: 8 };
+        assert!(e.to_string().contains("pmerge plan"), "{e}");
+        assert!(e.to_string().contains("64"));
     }
 }

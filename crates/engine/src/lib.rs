@@ -47,10 +47,15 @@
 mod block;
 mod device;
 mod engine;
+mod multipass;
 mod workers;
 
 pub use block::{block_bytes, decode_records, encode_records, RECORD_BYTES};
 pub use device::{BlockDevice, FileDevice, InjectedService, LatencyDevice, MemoryDevice};
 pub use engine::{
     disk_seed_for, EnginePrediction, ExecConfig, ExecOutcome, ExecReport, MergeEngine,
+};
+pub use multipass::{
+    clean_stale_passes, MultiPassExecutor, MultiPassOptions, MultiPassOutcome,
+    PassBackend, PassOutcome,
 };

@@ -1,0 +1,495 @@
+//! Multi-pass execution: drive a [`MergeTreePlan`] through the engine.
+//!
+//! The single-pass [`MergeEngine`] tops out at the cache's fan-in; this
+//! module walks a planned merge tree pass by pass, deriving each
+//! group's scenario from the shared cache budget
+//! ([`ScenarioBuilder::pass_scenario`]), loading the group's runs onto
+//! a fresh device, executing, and feeding the outputs to the next pass
+//! in group order. Every group is cross-checked against
+//! [`MergeEngine::predict`], so the simulator's per-pass decision
+//! parity — PR 5's core invariant — holds across the whole tree.
+//!
+//! # Temp-file lifecycle
+//!
+//! With [`PassBackend::File`], pass `p` group `g` stages its inputs
+//! under `<root>/pass-<p>/group-<g>/`. A pass's directory is removed as
+//! soon as the pass completes (its outputs live in memory); a crash
+//! between passes therefore leaves `pass-*` directories behind, and the
+//! next invocation over the same root removes them before loading
+//! anything ([`clean_stale_passes`]). The final output is never staged
+//! under the root, so an interrupted execution leaves no partial output
+//! file.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pm_core::{MergeConfig, PmError, ScenarioBuilder};
+use pm_extsort::plan::MergeTreePlan;
+use pm_extsort::Record;
+use pm_sim::{SimDuration, SimTime};
+use pm_trace::{EventKind, TraceEvent};
+
+use crate::device::{FileDevice, LatencyDevice, MemoryDevice};
+use crate::engine::{disk_seed_for, ExecConfig, MergeEngine};
+
+/// Which device family every pass of a multi-pass execution runs on.
+#[derive(Debug, Clone)]
+pub enum PassBackend {
+    /// In-memory golden reference.
+    Memory,
+    /// File-backed staging under `root` (see the module docs for the
+    /// directory lifecycle).
+    File {
+        /// Directory that holds the per-pass staging subdirectories.
+        root: PathBuf,
+    },
+    /// In-memory data with the modeled per-request service time
+    /// injected, for predicted-vs-executed cross-checks.
+    Latency,
+}
+
+/// Engine knobs shared by every pass (the per-pass merge scenario is
+/// derived from the plan and the base config instead).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiPassOptions {
+    /// Records per block (fixed across passes so intermediate runs
+    /// re-encode cleanly).
+    pub records_per_block: u32,
+    /// Bounded depth of each disk worker's request queue.
+    pub queue_capacity: usize,
+    /// I/O worker threads (0 = one per disk).
+    pub jobs: usize,
+    /// Wall-clock scale for injected latency sleeps.
+    pub time_scale: f64,
+}
+
+impl Default for MultiPassOptions {
+    fn default() -> Self {
+        let d = ExecConfig::new(placeholder_config());
+        MultiPassOptions {
+            records_per_block: d.records_per_block,
+            queue_capacity: d.queue_capacity,
+            jobs: d.jobs,
+            time_scale: d.time_scale,
+        }
+    }
+}
+
+fn placeholder_config() -> MergeConfig {
+    ScenarioBuilder::new(2, 1).build().expect("valid placeholder")
+}
+
+/// What one pass of a multi-pass execution measured.
+#[derive(Debug, Clone)]
+pub struct PassOutcome {
+    /// Pass index (0-based).
+    pub pass: u32,
+    /// Fan-in bound the pass was planned with.
+    pub fan_in: u32,
+    /// Input runs entering the pass.
+    pub inputs: u32,
+    /// Merge groups (including passthrough singletons).
+    pub groups: u32,
+    /// Groups that actually merged.
+    pub merged_groups: u32,
+    /// Blocks read by the pass's merges.
+    pub blocks_read: u64,
+    /// Records merged by the pass.
+    pub records_merged: u64,
+    /// Summed wall-clock time of the pass's group executions.
+    pub wall: Duration,
+    /// Summed merge-thread stall time.
+    pub stall: Duration,
+    /// Demand-fetch operations.
+    pub demand_ops: u64,
+    /// Demand operations degraded to single-block fallbacks.
+    pub fallback_ops: u64,
+    /// Demand operations whose full prefetch was admitted.
+    pub full_prefetch_ops: u64,
+    /// Summed modeled busy time across disks (latency backend only).
+    pub modeled_busy: SimDuration,
+    /// Summed simulator-predicted per-disk busy time.
+    pub predicted_busy: SimDuration,
+    /// Summed simulator-predicted read (total) time.
+    pub predicted_read: SimDuration,
+    /// Simulated read-time-weighted average I/O concurrency.
+    pub sim_concurrency: f64,
+    /// Simulated read-time-weighted average busy-disk count.
+    pub sim_busy_disks: f64,
+    /// The derived scenario of the pass's first merged group, if any —
+    /// representative for reporting.
+    pub scenario: Option<MergeConfig>,
+    /// The pass's own event stream: a [`EventKind::PassBoundary`] marker
+    /// followed by each group's events, shifted onto one pass-local
+    /// time axis.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Everything a multi-pass execution produced.
+#[derive(Debug, Clone)]
+pub struct MultiPassOutcome {
+    /// The fully merged record stream.
+    pub output: Vec<Record>,
+    /// Per-pass measurements, in execution order.
+    pub passes: Vec<PassOutcome>,
+    /// All pass streams concatenated onto one time axis (pass `p + 1`
+    /// starts where pass `p`'s wall clock ended).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Removes stale `pass-*` staging directories left under `root` by an
+/// interrupted multi-pass execution. Returns how many were removed.
+///
+/// # Errors
+///
+/// Returns [`PmError::Io`] if the directory cannot be scanned or a
+/// stale entry cannot be removed.
+pub fn clean_stale_passes(root: &Path) -> Result<u32, PmError> {
+    if !root.exists() {
+        return Ok(0);
+    }
+    let mut removed = 0;
+    let entries = std::fs::read_dir(root)
+        .map_err(|e| PmError::io(format!("scanning {}", root.display()), e))?;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| PmError::io(format!("scanning {}", root.display()), e))?;
+        let name = entry.file_name();
+        if name.to_string_lossy().starts_with("pass-") && entry.path().is_dir() {
+            std::fs::remove_dir_all(entry.path()).map_err(|e| {
+                PmError::io(format!("removing stale {}", entry.path().display()), e)
+            })?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Executes a planned merge tree pass by pass.
+#[derive(Debug, Clone)]
+pub struct MultiPassExecutor<'p> {
+    plan: &'p MergeTreePlan,
+    base: MergeConfig,
+    opts: MultiPassOptions,
+    backend: PassBackend,
+}
+
+impl<'p> MultiPassExecutor<'p> {
+    /// Binds a plan to a base scenario, engine options, and a backend.
+    /// The base scenario's strategy family, cache budget, disks and
+    /// seed drive every derived pass scenario.
+    #[must_use]
+    pub fn new(
+        plan: &'p MergeTreePlan,
+        base: MergeConfig,
+        opts: MultiPassOptions,
+        backend: PassBackend,
+    ) -> Self {
+        MultiPassExecutor { plan, base, opts, backend }
+    }
+
+    /// Runs the whole tree over `runs` (level-0 inputs, in plan order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any scenario, I/O, or parity error from a pass.
+    pub fn run(&self, runs: Vec<Vec<Record>>) -> Result<MultiPassOutcome, PmError> {
+        self.run_with_hook(runs, |_| Ok(()))
+    }
+
+    /// Like [`MultiPassExecutor::run`], with a fault-injection hook
+    /// called after each pass's groups complete but *before* the pass's
+    /// staging directory is removed — the crash window a test wants to
+    /// hit. A hook error aborts the execution with that pass's temp
+    /// files still on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass errors and whatever the hook returns.
+    pub fn run_with_hook(
+        &self,
+        runs: Vec<Vec<Record>>,
+        mut hook: impl FnMut(u32) -> Result<(), PmError>,
+    ) -> Result<MultiPassOutcome, PmError> {
+        if let Some(first) = self.plan.passes.first() {
+            if first.run_blocks.len() != runs.len() {
+                return Err(PmError::Usage(format!(
+                    "plan expects {} input runs but {} were supplied",
+                    first.run_blocks.len(),
+                    runs.len()
+                )));
+            }
+        }
+        if let PassBackend::File { root } = &self.backend {
+            clean_stale_passes(root)?;
+        }
+        let mut level = runs;
+        let mut passes: Vec<PassOutcome> = Vec::with_capacity(self.plan.passes.len());
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut tree_offset = SimDuration::ZERO;
+        for (p, pass) in self.plan.passes.iter().enumerate() {
+            let mut out = PassOutcome {
+                pass: p as u32,
+                fan_in: pass.fan_in,
+                inputs: level.len() as u32,
+                groups: pass.groups.len() as u32,
+                merged_groups: 0,
+                blocks_read: 0,
+                records_merged: 0,
+                wall: Duration::ZERO,
+                stall: Duration::ZERO,
+                demand_ops: 0,
+                fallback_ops: 0,
+                full_prefetch_ops: 0,
+                modeled_busy: SimDuration::ZERO,
+                predicted_busy: SimDuration::ZERO,
+                predicted_read: SimDuration::ZERO,
+                sim_concurrency: 0.0,
+                sim_busy_disks: 0.0,
+                scenario: None,
+                events: vec![TraceEvent {
+                    at: SimTime::ZERO,
+                    kind: EventKind::PassBoundary {
+                        pass: p as u32,
+                        groups: pass.groups.len() as u32,
+                    },
+                }],
+            };
+            let mut conc_weight = 0.0_f64;
+            let mut next: Vec<Vec<Record>> = Vec::with_capacity(pass.groups.len());
+            let mut inputs_iter = level.into_iter();
+            let mut pass_elapsed = SimDuration::ZERO;
+            for (g, group) in pass.groups.iter().enumerate() {
+                let inputs: Vec<Vec<Record>> =
+                    inputs_iter.by_ref().take(group.len).collect();
+                if group.len == 1 {
+                    // Passthrough: the run advances a level without I/O.
+                    next.push(inputs.into_iter().next().expect("one input"));
+                    continue;
+                }
+                let cfg = ScenarioBuilder::pass_scenario(
+                    &self.base,
+                    group.len as u32,
+                    p as u32,
+                    g as u32,
+                )?;
+                let mut exec = ExecConfig::new(cfg);
+                exec.records_per_block = self.opts.records_per_block;
+                exec.queue_capacity = self.opts.queue_capacity;
+                exec.jobs = self.opts.jobs;
+                exec.time_scale = self.opts.time_scale;
+                let engine =
+                    MergeEngine::new(exec, inputs.iter().map(Vec::len).collect())?;
+                let cfg = *engine.merge_config();
+                let disks = cfg.disks as usize;
+                let outcome = match &self.backend {
+                    PassBackend::Memory => {
+                        let mut dev = MemoryDevice::new(disks, engine.block_bytes());
+                        engine.load(&mut dev, &inputs)?;
+                        engine.execute(Arc::new(dev))?
+                    }
+                    PassBackend::File { root } => {
+                        let dir = root
+                            .join(format!("pass-{p:02}"))
+                            .join(format!("group-{g:02}"));
+                        let mut dev =
+                            FileDevice::create(&dir, disks, engine.block_bytes())
+                                .map_err(|e| {
+                                    PmError::io(
+                                        format!("creating {}", dir.display()),
+                                        e,
+                                    )
+                                })?;
+                        engine.load(&mut dev, &inputs)?;
+                        engine.execute(Arc::new(dev))?
+                    }
+                    PassBackend::Latency => {
+                        let mut inner = MemoryDevice::new(disks, engine.block_bytes());
+                        engine.load(&mut inner, &inputs)?;
+                        let dev = LatencyDevice::new(
+                            inner,
+                            disks,
+                            cfg.disk_spec,
+                            cfg.discipline,
+                            disk_seed_for(&cfg),
+                        );
+                        engine.execute(Arc::new(dev))?
+                    }
+                };
+                let prediction = engine.predict(&outcome.depletion)?;
+                if outcome.requests != prediction.requests {
+                    return Err(PmError::Tolerance(format!(
+                        "pass {p} group {g}: engine per-disk request sequences \
+                         diverged from the simulator's replay"
+                    )));
+                }
+                out.merged_groups += 1;
+                out.blocks_read += outcome.report.blocks_merged;
+                out.records_merged += outcome.report.records_merged;
+                out.wall += outcome.report.wall;
+                out.stall += outcome.report.stall;
+                out.demand_ops += outcome.report.demand_ops;
+                out.fallback_ops += outcome.report.fallback_ops;
+                out.full_prefetch_ops += outcome.report.full_prefetch_ops;
+                out.modeled_busy += outcome
+                    .report
+                    .per_disk_modeled_busy
+                    .iter()
+                    .copied()
+                    .sum::<SimDuration>();
+                out.predicted_busy += prediction
+                    .report
+                    .per_disk_busy
+                    .iter()
+                    .copied()
+                    .sum::<SimDuration>();
+                out.predicted_read += prediction.report.total;
+                let weight = prediction.report.total.as_nanos() as f64;
+                out.sim_concurrency += prediction.report.avg_concurrency * weight;
+                out.sim_busy_disks += prediction.report.avg_busy_disks * weight;
+                conc_weight += weight;
+                if out.scenario.is_none() {
+                    out.scenario = Some(cfg);
+                }
+                out.events.extend(outcome.events.iter().map(|ev| TraceEvent {
+                    at: ev.at + pass_elapsed,
+                    kind: ev.kind,
+                }));
+                pass_elapsed += wall_as_sim(outcome.report.wall);
+                next.push(outcome.output);
+            }
+            if conc_weight > 0.0 {
+                out.sim_concurrency /= conc_weight;
+                out.sim_busy_disks /= conc_weight;
+            }
+            level = next;
+            // The crash window: the pass's outputs exist, its staging
+            // directory has not been removed yet.
+            hook(p as u32)?;
+            if let PassBackend::File { root } = &self.backend {
+                let dir = root.join(format!("pass-{p:02}"));
+                if dir.exists() {
+                    std::fs::remove_dir_all(&dir).map_err(|e| {
+                        PmError::io(format!("removing {}", dir.display()), e)
+                    })?;
+                }
+            }
+            events.extend(out.events.iter().map(|ev| TraceEvent {
+                at: ev.at + tree_offset,
+                kind: ev.kind,
+            }));
+            tree_offset += wall_as_sim(out.wall);
+            passes.push(out);
+        }
+        let output = level.into_iter().next().unwrap_or_default();
+        Ok(MultiPassOutcome { output, passes, events })
+    }
+}
+
+fn wall_as_sim(wall: Duration) -> SimDuration {
+    SimDuration::from_nanos(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_extsort::plan::{plan_merge_tree, PlanPolicy};
+
+    fn uniform_runs(k: usize, per_run: usize) -> Vec<Vec<Record>> {
+        // Interleave keys so every run participates until the end.
+        (0..k)
+            .map(|r| {
+                (0..per_run)
+                    .map(|i| Record::new((i * k + r) as u64, (r * per_run + i) as u64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_pass_memory_merge_matches_reference() {
+        let rpb = 20;
+        let runs = uniform_runs(8, 100);
+        let mut expect: Vec<Record> = runs.iter().flatten().copied().collect();
+        expect.sort();
+        let lens: Vec<u32> = runs
+            .iter()
+            .map(|r| (r.len() as u32).div_ceil(rpb))
+            .collect();
+        let plan = plan_merge_tree(&lens, 3, PlanPolicy::GreedyMax).unwrap();
+        assert_eq!(plan.num_passes(), 2);
+        let base = ScenarioBuilder::new(3, 2).inter(2).seed(11).build().unwrap();
+        let opts = MultiPassOptions { records_per_block: rpb, ..Default::default() };
+        let exec = MultiPassExecutor::new(&plan, base, opts, PassBackend::Memory);
+        let out = exec.run(runs).unwrap();
+        assert_eq!(out.output, expect);
+        assert_eq!(out.passes.len(), 2);
+        // Pass 0: groups [3,3,2], all merged; pass 1: one 3-way group.
+        assert_eq!(out.passes[0].merged_groups, 3);
+        assert_eq!(out.passes[1].merged_groups, 1);
+        // Pass boundaries present and ordered in the combined stream.
+        let boundaries: Vec<u32> = out
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::PassBoundary { pass, .. } => Some(pass),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(boundaries, vec![0, 1]);
+    }
+
+    #[test]
+    fn deterministic_across_jobs() {
+        let rpb = 20;
+        let runs = uniform_runs(9, 60);
+        let lens: Vec<u32> = runs
+            .iter()
+            .map(|r| (r.len() as u32).div_ceil(rpb))
+            .collect();
+        let plan = plan_merge_tree(&lens, 4, PlanPolicy::Balanced).unwrap();
+        let base = ScenarioBuilder::new(4, 3).inter(2).seed(5).build().unwrap();
+        let mut outs = Vec::new();
+        for jobs in [1, 4] {
+            let opts = MultiPassOptions {
+                records_per_block: rpb,
+                jobs,
+                ..Default::default()
+            };
+            let exec = MultiPassExecutor::new(&plan, base, opts, PassBackend::Memory);
+            outs.push(exec.run(runs.clone()).unwrap().output);
+        }
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn single_run_needs_no_pass() {
+        let runs = uniform_runs(1, 40);
+        let plan = plan_merge_tree(&[2], 8, PlanPolicy::GreedyMax).unwrap();
+        let base = ScenarioBuilder::new(2, 1).build().unwrap();
+        let exec = MultiPassExecutor::new(
+            &plan,
+            base,
+            MultiPassOptions { records_per_block: 20, ..Default::default() },
+            PassBackend::Memory,
+        );
+        let out = exec.run(runs.clone()).unwrap();
+        assert_eq!(out.output, runs[0]);
+        assert!(out.passes.is_empty());
+    }
+
+    #[test]
+    fn run_count_mismatch_is_rejected() {
+        let plan = plan_merge_tree(&[5, 5, 5], 2, PlanPolicy::GreedyMax).unwrap();
+        let base = ScenarioBuilder::new(2, 1).build().unwrap();
+        let exec = MultiPassExecutor::new(
+            &plan,
+            base,
+            MultiPassOptions::default(),
+            PassBackend::Memory,
+        );
+        let err = exec.run(uniform_runs(2, 40)).unwrap_err();
+        assert!(err.to_string().contains("input runs"), "{err}");
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod generate;
 pub mod multipass;
+pub mod plan;
 pub mod run_formation;
 
 mod loser_tree;

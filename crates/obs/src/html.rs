@@ -186,6 +186,37 @@ fn figures(out: &mut String, sweeps: &[&ManifestRecord]) {
     }
 }
 
+fn exec_table(out: &mut String, rows: &[&ManifestRecord]) {
+    out.push_str(
+        "<h2>Execution engine — per-pass cost breakdown</h2>\n\
+         <table>\n<tr><th>case</th><th>pass</th><th>runs</th>\
+         <th>blocks</th><th>measured (s)</th><th>predicted (s)</th>\
+         <th>sim/engine</th><th>check</th></tr>\n",
+    );
+    for r in rows {
+        out.push_str("<tr>");
+        let _ = write!(out, "<td>{}</td>", esc(&r.label));
+        num_cell(
+            out,
+            &r.pass.map_or_else(|| "all".to_string(), |p| p.to_string()),
+        );
+        num_cell(out, &r.scenario.runs.to_string());
+        num_cell(out, &r.metrics.blocks_merged.to_string());
+        num_cell(out, &format!("{:.3}", r.metrics.mean_total_secs));
+        match &r.analytic {
+            Some(a) => {
+                num_cell(out, &format!("{:.3}", a.predicted));
+                num_cell(out, &format!("{:.4}", a.ratio));
+            }
+            None => {
+                out.push_str("<td class=\"num\">—</td><td class=\"num\">—</td>");
+            }
+        }
+        let _ = writeln!(out, "<td>{}</td></tr>", badge(r));
+    }
+    out.push_str("</table>\n");
+}
+
 fn convergence_table(out: &mut String, rows: &[&ManifestRecord]) {
     out.push_str(
         "<h2>Convergence diagnostics</h2>\n\
@@ -231,6 +262,10 @@ pub fn render_report(records: &[ManifestRecord]) -> String {
     let sweeps: Vec<&ManifestRecord> = records
         .iter()
         .filter(|r| r.kind == RecordKind::SweepPoint)
+        .collect();
+    let execs: Vec<&ManifestRecord> = records
+        .iter()
+        .filter(|r| r.kind == RecordKind::EngineExec)
         .collect();
     let auto: Vec<&ManifestRecord> = records.iter().filter(|r| r.auto.is_some()).collect();
 
@@ -286,6 +321,9 @@ pub fn render_report(records: &[ManifestRecord]) -> String {
     if !sweeps.is_empty() {
         figures(&mut out, &sweeps);
     }
+    if !execs.is_empty() {
+        exec_table(&mut out, &execs);
+    }
     if !auto.is_empty() {
         convergence_table(&mut out, &auto);
     }
@@ -307,6 +345,7 @@ mod tests {
             schema: SCHEMA_VERSION,
             kind,
             label: label.into(),
+            pass: None,
             sweep: (kind == RecordKind::SweepPoint).then(|| "curve <A&B>".to_string()),
             x: (kind == RecordKind::SweepPoint).then_some(10.0),
             x_label: (kind == RecordKind::SweepPoint).then(|| "N".to_string()),
@@ -364,6 +403,21 @@ mod tests {
         assert!(!html.contains("<script"));
         assert!(!html.contains("<img"));
         assert!(!html.contains("<link"));
+    }
+
+    #[test]
+    fn exec_records_render_per_pass_rows() {
+        let mut p1 = record(RecordKind::EngineExec, "exec pass 1/2", Some(true));
+        p1.pass = Some(1);
+        let mut p2 = record(RecordKind::EngineExec, "exec pass 2/2", Some(true));
+        p2.pass = Some(2);
+        let total = record(RecordKind::EngineExec, "exec: file backend", None);
+        let html = render_report(&[p1, p2, total]);
+        assert!(html.contains("Execution engine — per-pass cost breakdown"));
+        assert!(html.contains("<td class=\"num\">1</td>"));
+        assert!(html.contains("<td class=\"num\">2</td>"));
+        // The whole-run summary row shows "all" instead of a pass index.
+        assert!(html.contains("<td class=\"num\">all</td>"));
     }
 
     #[test]

@@ -26,7 +26,13 @@ use crate::json::Value;
 use crate::residual::{Bound, ResidualCheck};
 
 /// Manifest schema version, bumped on breaking field changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v2 added the optional `pass` field (multi-pass `exec`
+/// records). The parser accepts v1 lines — `pass` reads as `None`.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version [`ManifestRecord::from_json_line`] still reads.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// What kind of experiment point a record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +120,9 @@ pub struct ManifestRecord {
     pub kind: RecordKind,
     /// Human-readable case label.
     pub label: String,
+    /// Merge-pass index (1-based) for per-pass multi-pass `exec`
+    /// records; `None` for single-pass records and whole-run summaries.
+    pub pass: Option<u32>,
     /// Sweep (curve) name for sweep points.
     pub sweep: Option<String>,
     /// Independent-variable value for sweep points.
@@ -263,6 +272,7 @@ impl ManifestRecord {
             ("schema".into(), num(f64::from(self.schema))),
             ("kind".into(), Value::Str(self.kind.as_str().to_string())),
             ("label".into(), Value::Str(self.label.clone())),
+            ("pass".into(), opt_num(self.pass.map(f64::from))),
             ("sweep".into(), opt_str(&self.sweep)),
             ("x".into(), opt_num(self.x)),
             ("x_label".into(), opt_str(&self.x_label)),
@@ -290,9 +300,18 @@ impl ManifestRecord {
     fn parse_record(line: &str) -> Result<Self, String> {
         let v = Value::parse(line)?;
         let schema = get_u64(&v, "schema")? as u32;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(format!("unsupported manifest schema {schema}"));
         }
+        // v1 lines have no `pass` field; absent and null both read as None.
+        let pass = match v.get("pass") {
+            None | Some(Value::Null) => None,
+            Some(p) => Some(
+                p.as_u64()
+                    .ok_or("field 'pass' is not an unsigned integer")?
+                    as u32,
+            ),
+        };
         let kind_str = get_str(&v, "kind")?;
         let kind = RecordKind::from_str(&kind_str)
             .ok_or_else(|| format!("unknown record kind '{kind_str}'"))?;
@@ -355,6 +374,7 @@ impl ManifestRecord {
             schema,
             kind,
             label: get_str(&v, "label")?,
+            pass,
             sweep: get_opt_str(&v, "sweep")?,
             x: get_opt_f64(&v, "x")?,
             x_label: get_opt_str(&v, "x_label")?,
@@ -519,6 +539,7 @@ mod tests {
             schema: SCHEMA_VERSION,
             kind,
             label: "eq5: inter sync, k=25, D=5, N=10".into(),
+            pass: None,
             sweep: match kind {
                 RecordKind::SweepPoint => Some("All Disks One Run (25 runs, 5 disks)".into()),
                 _ => None,
@@ -634,6 +655,29 @@ mod tests {
         let err = parse_manifest(&text).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn pass_field_round_trips() {
+        let mut r = sample(RecordKind::EngineExec);
+        r.pass = Some(2);
+        let line = r.to_json_line();
+        assert!(line.contains("\"pass\":2"));
+        assert_eq!(ManifestRecord::from_json_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn v1_lines_without_pass_still_parse() {
+        // A schema-1 line predates the `pass` field entirely.
+        let mut r = sample(RecordKind::T1Case);
+        r.schema = 1;
+        let line = r.to_json_line().replace("\"pass\":null,", "");
+        // Only the residual check's own `pass` flag remains.
+        assert!(!line.contains("\"pass\":null"));
+        let back = ManifestRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.schema, 1);
+        assert_eq!(back.pass, None);
+        assert_eq!(back.scenario, r.scenario);
     }
 
     #[test]

@@ -284,6 +284,7 @@ pub fn run_point(
         schema: SCHEMA_VERSION,
         kind: spec.kind,
         label: spec.label.clone(),
+        pass: None,
         sweep: spec.sweep.clone(),
         x: spec.x,
         x_label: spec.x_label.clone(),

@@ -122,6 +122,15 @@ pub enum EventKind {
         /// The exhausted run.
         run: u32,
     },
+    /// A multi-pass execution started a new merge pass; subsequent
+    /// events belong to it. Emitted by the engine's pass loop, never by
+    /// the single-pass simulator.
+    PassBoundary {
+        /// Pass index now starting (0-based).
+        pass: u32,
+        /// Merge groups the pass executes.
+        groups: u32,
+    },
 }
 
 impl EventKind {
@@ -140,6 +149,7 @@ impl EventKind {
             EventKind::CacheEvictConsumed { .. } => "cache_evict_consumed",
             EventKind::CpuConsume { .. } => "cpu_consume",
             EventKind::RunExhausted { .. } => "run_exhausted",
+            EventKind::PassBoundary { .. } => "pass_boundary",
         }
     }
 
@@ -163,7 +173,7 @@ impl EventKind {
             | EventKind::CacheEvictConsumed { run, .. }
             | EventKind::CpuConsume { run, .. }
             | EventKind::RunExhausted { run } => Some(run),
-            EventKind::PrefetchBatch { .. } => None,
+            EventKind::PrefetchBatch { .. } | EventKind::PassBoundary { .. } => None,
         }
     }
 

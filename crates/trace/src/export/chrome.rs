@@ -206,6 +206,19 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     ),
                 );
             }
+            EventKind::PassBoundary { pass, groups } => {
+                // Global-scope instant so the boundary is visible across
+                // every disk lane, not just the merge process.
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"pid\":{MERGE_PID},\"tid\":1,\"s\":\"g\",\
+                         \"cat\":\"merge\",\"name\":\"pass {pass} start \
+                         ({groups} groups)\",\"ts\":{}}}",
+                        us(ev.at),
+                    ),
+                );
+            }
             // Per-block CPU consumes would dwarf every other lane;
             // they are summarized by the cache-free counter instead.
             EventKind::CacheAdmit { .. } | EventKind::CpuConsume { .. } => {}
@@ -301,6 +314,17 @@ mod tests {
         assert!(json.contains("\"name\":\"output disk 0\""));
         assert!(json.contains("\"pid\":1000,"));
         assert!(json.contains("transfer out b"));
+    }
+
+    #[test]
+    fn pass_boundaries_are_global_instants() {
+        let events = vec![TraceEvent {
+            at: t(5_000),
+            kind: EventKind::PassBoundary { pass: 1, groups: 3 },
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"pass 1 start (3 groups)\",\"ts\":5.000"));
+        assert!(json.contains("\"s\":\"g\""));
     }
 
     #[test]

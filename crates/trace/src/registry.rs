@@ -138,6 +138,9 @@ impl TraceMetrics {
                 EventKind::CacheEvictConsumed { .. } => {}
                 EventKind::CpuConsume { .. } => m.blocks_consumed += 1,
                 EventKind::RunExhausted { .. } => m.runs_exhausted += 1,
+                // Pass boundaries partition the stream but carry no
+                // metric of their own.
+                EventKind::PassBoundary { .. } => {}
             }
         }
         m

@@ -1,0 +1,242 @@
+//! Differential tests of multi-pass execution (the PR 6 acceptance
+//! harness).
+//!
+//! Three properties:
+//!
+//! 1. The planner's pass count matches the analytic `ceil(log_F k)` for
+//!    uniform run populations.
+//! 2. A multi-pass merge produces output identical to the single-pass
+//!    engine (and the sorted reference) across every backend, worker
+//!    count, and plan policy.
+//! 3. On the latency backend, each pass's modeled busy time lands on
+//!    the simulator's per-pass prediction within the engine tolerance.
+//!
+//! Plus the crash-safety contract: an execution interrupted between
+//! passes leaves its staging directory behind, and the next invocation
+//! over the same root cleans it up before producing a correct output.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pm_core::ScenarioBuilder;
+use pm_engine::{
+    clean_stale_passes, ExecConfig, MemoryDevice, MergeEngine, MultiPassExecutor,
+    MultiPassOptions, PassBackend,
+};
+use pm_extsort::plan::{min_passes, plan_merge_tree, PlanPolicy};
+use pm_extsort::{generate, run_formation, Record};
+
+/// Records per on-device block used throughout.
+const RPB: u32 = 20;
+
+/// Generates `total` uniform records and forms sorted runs of up to
+/// `memory` records each.
+fn form_runs(total: usize, memory: usize, seed: u64) -> Vec<Vec<Record>> {
+    let input = generate::uniform(total, seed);
+    run_formation::load_sort(&input, memory)
+}
+
+/// The expected merged output: every input record in key order.
+fn reference(runs: &[Vec<Record>]) -> Vec<Record> {
+    let mut all: Vec<Record> = runs.iter().flatten().copied().collect();
+    all.sort_by_key(|r| (r.key, r.rid));
+    all
+}
+
+/// Per-run block counts for the test block factor.
+fn run_blocks(runs: &[Vec<Record>]) -> Vec<u32> {
+    runs.iter()
+        .map(|r| (r.len() as u32).div_ceil(RPB).max(1))
+        .collect()
+}
+
+/// Engine options shared by the differential matrix.
+fn opts(jobs: usize, time_scale: f64) -> MultiPassOptions {
+    MultiPassOptions {
+        records_per_block: RPB,
+        queue_capacity: 8,
+        jobs,
+        time_scale,
+    }
+}
+
+/// A unique scratch directory under the system temp dir.
+fn unique_dir() -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pm-multipass-test-{}-{n}", std::process::id()))
+}
+
+/// One single-pass merge on the memory backend: the reference the
+/// multi-pass tree must reproduce byte for byte.
+fn single_pass_reference(runs: &[Vec<Record>]) -> Vec<Record> {
+    let cfg = ScenarioBuilder::new(runs.len() as u32, 2)
+        .inter(2)
+        .seed(7)
+        .build()
+        .unwrap();
+    let mut exec = ExecConfig::new(cfg);
+    exec.records_per_block = RPB;
+    exec.queue_capacity = 8;
+    let engine = MergeEngine::new(exec, runs.iter().map(Vec::len).collect()).unwrap();
+    let mut dev = MemoryDevice::new(cfg.disks as usize, engine.block_bytes());
+    engine.load(&mut dev, runs).unwrap();
+    engine.execute(Arc::new(dev)).unwrap().output
+}
+
+#[test]
+fn pass_count_matches_analytic_form_for_uniform_runs() {
+    for k in [2u32, 5, 8, 9, 16, 27, 64] {
+        for f in [2u32, 3, 4, 8] {
+            let lens = vec![10u32; k as usize];
+            for policy in [PlanPolicy::GreedyMax, PlanPolicy::Balanced] {
+                let plan = plan_merge_tree(&lens, f, policy).unwrap();
+                assert_eq!(
+                    plan.num_passes() as u32,
+                    min_passes(k, f),
+                    "k={k} F={f} {policy:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multipass_output_matches_single_pass_across_backends_jobs_policies() {
+    // k = 16 runs, fan-in 4: a genuine two-pass tree. Keys are unique
+    // with overwhelming probability at this size; assert it so the
+    // sorted reference is the only valid merge output and byte-for-byte
+    // comparison across paths is meaningful.
+    let runs = form_runs(6000, 375, 61);
+    assert_eq!(runs.len(), 16);
+    let expect = reference(&runs);
+    assert!(
+        expect.windows(2).all(|w| w[0].key < w[1].key),
+        "seed produced duplicate keys; pick another"
+    );
+
+    let single = single_pass_reference(&runs);
+    assert_eq!(single, expect);
+
+    let base = ScenarioBuilder::new(4, 2).inter(2).seed(7).build().unwrap();
+    for policy in [PlanPolicy::GreedyMax, PlanPolicy::Balanced] {
+        let plan = plan_merge_tree(&run_blocks(&runs), 4, policy).unwrap();
+        assert_eq!(plan.num_passes(), 2, "{policy:?}");
+        for jobs in [1usize, 4] {
+            for backend_id in ["mem", "file", "latency"] {
+                let (backend, scale, root) = match backend_id {
+                    "mem" => (PassBackend::Memory, 1.0, None),
+                    "latency" => (PassBackend::Latency, 5e-4, None),
+                    _ => {
+                        let dir = unique_dir();
+                        (PassBackend::File { root: dir.clone() }, 1.0, Some(dir))
+                    }
+                };
+                let exec = MultiPassExecutor::new(&plan, base, opts(jobs, scale), backend);
+                let out = exec
+                    .run(runs.clone())
+                    .unwrap_or_else(|e| panic!("{policy:?} jobs={jobs} {backend_id}: {e}"));
+                assert_eq!(
+                    out.output, single,
+                    "{policy:?} jobs={jobs} {backend_id}: diverged from single-pass"
+                );
+                assert_eq!(out.passes.len(), 2);
+                let records: u64 = out.output.len() as u64;
+                for p in &out.passes {
+                    assert_eq!(
+                        p.records_merged, records,
+                        "every record moves once per pass"
+                    );
+                }
+                if let Some(dir) = root {
+                    // The executor removed each pass's staging directory.
+                    let leftover = std::fs::read_dir(&dir)
+                        .map(|it| it.count())
+                        .unwrap_or(0);
+                    assert_eq!(leftover, 0, "staging not cleaned under {}", dir.display());
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn latency_backend_per_pass_busy_matches_prediction() {
+    let tol = 0.02;
+    let runs = form_runs(4000, 250, 83);
+    assert_eq!(runs.len(), 16);
+    let base = ScenarioBuilder::new(4, 2).inter(2).seed(29).build().unwrap();
+    for policy in [PlanPolicy::GreedyMax, PlanPolicy::Balanced] {
+        let plan = plan_merge_tree(&run_blocks(&runs), 4, policy).unwrap();
+        let exec = MultiPassExecutor::new(&plan, base, opts(0, 5e-4), PassBackend::Latency);
+        let out = exec.run(runs.clone()).unwrap();
+        for p in &out.passes {
+            let predicted = p.predicted_busy.as_secs_f64();
+            let measured = p.modeled_busy.as_secs_f64();
+            assert!(predicted > 0.0, "pass {} predicted nothing", p.pass);
+            let ratio = measured / predicted;
+            assert!(
+                (ratio - 1.0).abs() <= tol,
+                "{policy:?} pass {}: modeled busy {measured:.4}s vs predicted \
+                 {predicted:.4}s (ratio {ratio:.4})",
+                p.pass
+            );
+        }
+    }
+}
+
+#[test]
+fn interrupted_execution_leaves_stage_and_next_invocation_cleans_it() {
+    let runs = form_runs(3000, 188, 47);
+    assert_eq!(runs.len(), 16);
+    let expect = reference(&runs);
+    let base = ScenarioBuilder::new(4, 2).inter(2).seed(13).build().unwrap();
+    let plan = plan_merge_tree(&run_blocks(&runs), 4, PlanPolicy::GreedyMax).unwrap();
+    let root = unique_dir();
+
+    // Crash in the window after pass 0 completes but before its staging
+    // directory is removed.
+    let exec = MultiPassExecutor::new(
+        &plan,
+        base,
+        opts(0, 1.0),
+        PassBackend::File { root: root.clone() },
+    );
+    let err = exec
+        .run_with_hook(runs.clone(), |pass| {
+            if pass == 0 {
+                Err(pm_core::PmError::io(
+                    "injected crash between passes",
+                    std::io::Error::other("fault injection"),
+                ))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("injected crash"), "{err}");
+    // The interrupted pass's temp files are still there; no final output
+    // was staged under the root.
+    assert!(root.join("pass-00").is_dir(), "crash should leave pass-00");
+    let top_level: Vec<String> = std::fs::read_dir(&root)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        top_level.iter().all(|n| n.starts_with("pass-")),
+        "only staging dirs expected, found {top_level:?}"
+    );
+
+    // The next invocation over the same root cleans the stale staging
+    // and completes correctly.
+    let out = exec.run(runs.clone()).unwrap();
+    assert_eq!(out.output, expect);
+    let leftover = std::fs::read_dir(&root).map(|it| it.count()).unwrap_or(0);
+    assert_eq!(leftover, 0, "stale staging survived the rerun");
+
+    // clean_stale_passes is also callable directly and idempotent.
+    assert_eq!(clean_stale_passes(&root).unwrap(), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
