@@ -4,8 +4,11 @@
 //! coalesced O(D) operating regime.
 //!
 //! `perf_smoke` (crates/bench/src/bin/perf_smoke.rs) measures the same
-//! code end-to-end in ops/sec; these benches isolate the three layers so a
-//! regression can be localized without re-profiling.
+//! code end-to-end in ops/sec; these benches isolate the layers so a
+//! regression can be localized without re-profiling. Two pairs isolate
+//! the PR-7 optimizations specifically: winner selection in the event
+//! queue's linear store vs its tournament store, and scalar vs batched
+//! draws from the RNG's refillable buffer.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pm_core::{DepletionModel, MergeSim, ScenarioBuilder, UniformDepletion};
@@ -47,8 +50,8 @@ fn demand_path(c: &mut Criterion) {
 /// The event queue at its real operating point: completion coalescing
 /// keeps at most one event per disk pending, so the queue holds ~D
 /// elements while the simulation pops and re-arms millions of times.
-/// (substrates.rs benches the same queue at 10k pending — the regime the
-/// flat-vector representation deliberately does *not* target.)
+/// (substrates.rs benches the same queue at 10k pending, where the
+/// tournament store takes over from the linear scan.)
 fn event_queue_coalesced(c: &mut Criterion) {
     const D: u64 = 8;
     c.bench_function("hotpath/event_queue_rearm_1M_d8", |b| {
@@ -71,9 +74,73 @@ fn event_queue_coalesced(c: &mut Criterion) {
     });
 }
 
+/// Winner selection head-to-head: the identical coalesced rearm workload
+/// run against the linear store (capacity within `LINEAR_MAX_SLOTS`) and
+/// against the tournament store (capacity above it). Both must agree on
+/// every pop — the store swap is keyed on capacity precisely because the
+/// linear scan wins at simulator-sized queues and the tournament wins in
+/// the hundreds; this pair puts numbers on the crossover's two sides.
+fn winner_selection(c: &mut Criterion) {
+    for (name, slots, iters) in [
+        ("hotpath/winner_linear_rearm_1M_s8", 8u64, 1_000_000u32),
+        ("hotpath/winner_linear_rearm_1M_s48", 48, 1_000_000),
+        ("hotpath/winner_tournament_rearm_1M_s128", 128, 1_000_000),
+        ("hotpath/winner_tournament_rearm_100k_s1024", 1024, 100_000),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(slots as usize);
+                let mut rng = SimRng::seed_from_u64(7);
+                for d in 0..slots {
+                    q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000), d);
+                }
+                let mut acc = 0u64;
+                for _ in 0..iters {
+                    let (t, d) = q.pop().expect("queue stays populated");
+                    acc = acc.wrapping_add(d);
+                    let next = t.as_nanos() + 1 + rng.next_u64() % 1_000;
+                    q.schedule(SimTime::from_nanos(next), d);
+                }
+                black_box(acc)
+            });
+        });
+    }
+}
+
+/// Scalar vs batched raw draws. Both paths produce the identical output
+/// stream (pinned by pm-sim's equivalence tests); the question here is
+/// only what a draw costs when taken one at a time through the buffered
+/// `next_u64` versus in bulk through `fill_u64`.
+fn rng_batched_vs_scalar(c: &mut Criterion) {
+    c.bench_function("hotpath/rng_scalar_draws_1M", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(11);
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("hotpath/rng_batched_draws_1M", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(11);
+            let mut buf = [0u64; 1024];
+            let mut acc = 0u64;
+            for _ in 0..(1_000_000 / buf.len()) {
+                rng.fill_u64(&mut buf);
+                for &v in &buf {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = depletion_step, demand_path, event_queue_coalesced
+    targets = depletion_step, demand_path, event_queue_coalesced, winner_selection, rng_batched_vs_scalar
 }
 criterion_main!(benches);

@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pm_analysis::markov::{average_parallelism, Policy};
 use pm_disk::{BlockAddr, Disk, DiskId, DiskRequest, DiskSpec, QueueDiscipline};
-use pm_extsort::{external_sort, generate, ExtSortConfig, LoserTree, RunFormation};
+use pm_core::LoserTree;
+use pm_extsort::{external_sort, generate, ExtSortConfig, RunFormation};
 use pm_sim::{EventQueue, SimRng, SimTime};
 use std::hint::black_box;
 

@@ -11,6 +11,8 @@
 //! Flags:
 //!
 //! * `--out <path>` — where to write the JSON (default `BENCH_core.json`).
+//! * `--snapshot <path>` — additionally write the same JSON as a per-PR
+//!   snapshot (default `BENCH_PR7.json`; CI uploads it as an artifact).
 //! * `--repeats <n>` — timed repetitions per scenario (default 5).
 //! * `--quick` — 2 repeats; for CI smoke runs.
 //! * `--baseline <path>` — compare against a previously emitted JSON and
@@ -111,12 +113,14 @@ fn scenarios() -> Vec<Scenario> {
         d: 4,
         cfg: ScenarioBuilder::new(25, 4).intra(10).build().unwrap(),
     });
-    for d in [2u32, 4, 8] {
+    for d in [2u32, 4, 8, 16, 32] {
         v.push(Scenario {
             name: match d {
                 2 => "inter_d2_n10",
                 4 => "inter_d4_n10",
-                _ => "inter_d8_n10",
+                8 => "inter_d8_n10",
+                16 => "inter_d16_n10",
+                _ => "inter_d32_n10",
             },
             strategy: "inter",
             d,
@@ -376,6 +380,7 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_core.json");
+    let mut snapshot_path = String::from("BENCH_PR7.json");
     let mut repeats = 5u32;
     let mut baseline: Option<String> = None;
     let mut max_regress_pct = 30.0f64;
@@ -385,6 +390,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--snapshot" => snapshot_path = args.next().expect("--snapshot needs a path"),
             "--repeats" => {
                 repeats = args
                     .next()
@@ -438,8 +444,10 @@ fn main() -> ExitCode {
     );
 
     let json = render_json(&results, &probe, &obs_probe);
-    fs::write(&out_path, &json).expect("write BENCH_core.json");
+    fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");
+    fs::write(&snapshot_path, &json).expect("write snapshot JSON");
+    println!("wrote {snapshot_path}");
 
     let mut failed = false;
     if check_alloc && probe.per_block_allocs > 0.0 {

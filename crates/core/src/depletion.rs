@@ -84,9 +84,23 @@ impl DepletionModel for TraceDepletion {
 /// Draws live runs with weights `1 / (r + 1)^theta` — a Zipf-like skew in
 /// which low-numbered runs deplete faster. `theta = 0` reduces to the
 /// uniform model.
-#[derive(Debug, Clone, Copy)]
+///
+/// Weights are memoized per run id and the total weight is cached between
+/// draws instead of re-summed over all live runs on every call. The live
+/// set only changes when a run dies (its length shrinks by one), so the
+/// cache is refreshed exactly then — by re-summing the memoized weights in
+/// the caller's current live order, which reproduces the draw-by-draw
+/// re-summation of the naive implementation bit-for-bit (floating-point
+/// summation order included). A regression test pins the draw sequence
+/// against the naive reference.
+#[derive(Debug, Clone)]
 pub struct SkewedDepletion {
     theta: f64,
+    /// `weights[r] = (r + 1)^-theta`, extended lazily as run ids appear.
+    weights: Vec<f64>,
+    /// Cached sum of live weights, valid while `live.len() == cached_len`.
+    total: f64,
+    cached_len: usize,
 }
 
 impl SkewedDepletion {
@@ -98,19 +112,44 @@ impl SkewedDepletion {
     #[must_use]
     pub fn new(theta: f64) -> Self {
         assert!(theta.is_finite() && theta >= 0.0, "theta must be >= 0");
-        SkewedDepletion { theta }
+        SkewedDepletion {
+            theta,
+            weights: Vec::new(),
+            total: 0.0,
+            cached_len: usize::MAX,
+        }
+    }
+
+    /// Ensures every run in `live` has a memoized weight.
+    fn extend_weights(&mut self, live: &[RunId]) {
+        let max_id = live.iter().map(|r| r.0 as usize).max().unwrap_or(0);
+        if max_id >= self.weights.len() {
+            for id in self.weights.len()..=max_id {
+                self.weights.push((id as f64 + 1.0).powf(-self.theta));
+            }
+        }
     }
 }
 
 impl DepletionModel for SkewedDepletion {
     fn next_run(&mut self, rng: &mut SimRng, live: &[RunId]) -> RunId {
-        let total: f64 = live
-            .iter()
-            .map(|r| (f64::from(r.0) + 1.0).powf(-self.theta))
-            .sum();
-        let mut target = rng.uniform_f64() * total;
+        if live.len() != self.cached_len {
+            self.extend_weights(live);
+            // Summed in the caller's live order so the cached total carries
+            // the exact bits a per-draw re-summation would produce.
+            self.total = live.iter().map(|r| self.weights[r.0 as usize]).sum();
+            self.cached_len = live.len();
+        }
+        debug_assert_eq!(
+            self.total,
+            live.iter()
+                .map(|r| self.weights[r.0 as usize])
+                .sum::<f64>(),
+            "cached total is stale: the live set changed without a length change"
+        );
+        let mut target = rng.uniform_f64() * self.total;
         for &r in live {
-            target -= (f64::from(r.0) + 1.0).powf(-self.theta);
+            target -= self.weights[r.0 as usize];
             if target <= 0.0 {
                 return r;
             }
@@ -213,6 +252,55 @@ mod tests {
         for &c in &counts {
             let expected = n as f64 / 4.0;
             assert!((f64::from(c) - expected).abs() < 0.05 * expected, "{counts:?}");
+        }
+    }
+
+    /// The naive `SkewedDepletion` this module used to ship: re-derives
+    /// every weight and the total with `powf` on each draw. The cached
+    /// implementation must reproduce its draw sequence bit-for-bit.
+    struct NaiveSkewed {
+        theta: f64,
+    }
+
+    impl DepletionModel for NaiveSkewed {
+        fn next_run(&mut self, rng: &mut SimRng, live: &[RunId]) -> RunId {
+            let total: f64 = live
+                .iter()
+                .map(|r| (f64::from(r.0) + 1.0).powf(-self.theta))
+                .sum();
+            let mut target = rng.uniform_f64() * total;
+            for &r in live {
+                target -= (f64::from(r.0) + 1.0).powf(-self.theta);
+                if target <= 0.0 {
+                    return r;
+                }
+            }
+            *live.last().expect("live set must be non-empty")
+        }
+    }
+
+    #[test]
+    fn cached_skewed_matches_naive_draw_sequence() {
+        for theta in [0.0, 0.7, 1.5, 3.0] {
+            let mut cached = SkewedDepletion::new(theta);
+            let mut naive = NaiveSkewed { theta };
+            let mut rng_a = SimRng::seed_from_u64(1992);
+            let mut rng_b = SimRng::seed_from_u64(1992);
+            // Deplete a 12-run merge to exhaustion, killing runs as their
+            // blocks drain, exactly as the simulator does (swap_remove
+            // reorders the live slice, exercising order-sensitive sums).
+            let mut blocks = [40u32; 12];
+            let mut live: Vec<RunId> = (0..12).map(RunId).collect();
+            while !live.is_empty() {
+                let a = cached.next_run(&mut rng_a, &live);
+                let b = naive.next_run(&mut rng_b, &live);
+                assert_eq!(a, b, "theta={theta} live={live:?}");
+                blocks[a.0 as usize] -= 1;
+                if blocks[a.0 as usize] == 0 {
+                    let idx = live.iter().position(|&r| r == a).unwrap();
+                    live.swap_remove(idx);
+                }
+            }
         }
     }
 

@@ -43,6 +43,7 @@ mod config;
 mod depletion;
 mod error;
 mod layout;
+mod loser_tree;
 mod metrics;
 pub mod parallel;
 mod prefetch;
@@ -57,6 +58,7 @@ pub use config::{ConfigError, DataLayout, MergeConfig};
 pub use error::PmError;
 pub use depletion::{DepletionModel, SkewedDepletion, TraceDepletion, UniformDepletion};
 pub use layout::{RunLayout, RunPlacement};
+pub use loser_tree::LoserTree;
 pub use metrics::MergeReport;
 pub use prefetch::PrefetchChoice;
 pub use runner::{

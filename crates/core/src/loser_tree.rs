@@ -14,7 +14,7 @@
 /// # Examples
 ///
 /// ```
-/// use pm_extsort::LoserTree;
+/// use pm_core::LoserTree;
 ///
 /// let mut tree = LoserTree::new(vec![Some(3), Some(1), Some(2)]);
 /// assert_eq!(tree.winner(), Some((1, &1)));

@@ -60,24 +60,37 @@ impl PrefetchChoice {
         self,
         rng: &mut SimRng,
         candidates: &[RunId],
-        mut score: impl FnMut(RunId) -> u64,
+        score: impl FnMut(RunId) -> u64,
     ) -> RunId {
         debug_assert!(!candidates.is_empty());
         match self {
             PrefetchChoice::Random => *rng.choose(candidates),
             PrefetchChoice::LeastHeld | PrefetchChoice::HeadProximity => {
-                let mut best = candidates[0];
-                let mut best_score = score(best);
-                for &c in &candidates[1..] {
-                    let s = score(c);
-                    if s < best_score || (s == best_score && c < best) {
-                        best = c;
-                        best_score = s;
-                    }
-                }
-                best
+                Self::pick_min(candidates, score)
             }
         }
+    }
+
+    /// The informed-policy selection rule by itself: the candidate with the
+    /// minimum `score`, ties broken by lower run id. Exposed so a caller
+    /// that has already branched on the policy (the simulator's inter-run
+    /// hot path matches once per candidate group, not once per candidate)
+    /// makes the identical choice [`PrefetchChoice::pick`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn pick_min(candidates: &[RunId], mut score: impl FnMut(RunId) -> u64) -> RunId {
+        let mut best = candidates[0];
+        let mut best_score = score(best);
+        for &c in &candidates[1..] {
+            let s = score(c);
+            if s < best_score || (s == best_score && c < best) {
+                best = c;
+                best_score = s;
+            }
+        }
+        best
     }
 }
 

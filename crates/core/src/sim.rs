@@ -98,6 +98,8 @@ impl BusyTracker {
 /// observe-only, so a traced run is bit-identical to an untraced one.
 pub struct MergeSim<S: TraceSink = NullSink> {
     cfg: MergeConfig,
+    /// Hot-path constants derived from `cfg` (see [`HotDispatch`]).
+    hot: HotDispatch,
     exec: Executive<Event>,
     disks: DiskArray,
     cache: BlockCache,
@@ -140,6 +142,40 @@ pub struct MergeSim<S: TraceSink = NullSink> {
 }
 
 const DEAD: usize = usize::MAX;
+
+/// Configuration answers the steady state re-asks per block or per
+/// operation, resolved once at build time. Everything here is a pure
+/// function of [`MergeConfig`], so precomputing it cannot change a
+/// decision — it only removes per-block matches from the hot path.
+#[derive(Clone, Copy)]
+struct HotDispatch {
+    /// `cfg.strategy.is_inter_run()`.
+    inter_run: bool,
+    /// `cfg.cpu_per_block.is_zero()` — the infinitely-fast-CPU short
+    /// circuit taken once per merged block.
+    cpu_is_free: bool,
+    /// `cfg.admission == Greedy` — whether the non-demand groups of an
+    /// inter-run operation are shuffled before prefix admission.
+    greedy_shuffle: bool,
+    /// `cfg.strategy.adaptive_bounds()` — AIMD bounds of the adaptive
+    /// strategy, applied after every inter-run admission.
+    adaptive_bounds: Option<(u32, u32)>,
+    /// `cfg.prefetch_choice`, matched once per candidate group instead of
+    /// once per candidate.
+    choice: crate::PrefetchChoice,
+}
+
+impl HotDispatch {
+    fn from_cfg(cfg: &MergeConfig) -> Self {
+        HotDispatch {
+            inter_run: cfg.strategy.is_inter_run(),
+            cpu_is_free: cfg.cpu_per_block.is_zero(),
+            greedy_shuffle: cfg.admission == pm_cache::AdmissionPolicy::Greedy,
+            adaptive_bounds: cfg.strategy.adaptive_bounds(),
+            choice: cfg.prefetch_choice,
+        }
+    }
+}
 
 fn tag_of(run: RunId, index: u32) -> u64 {
     pm_trace::pack_tag(run.0, index)
@@ -241,6 +277,7 @@ impl MergeSim {
         let event_capacity = cfg.disks as usize + write_disks + 1;
         let group_capacity = cfg.disks as usize + 1;
         MergeSim {
+            hot: HotDispatch::from_cfg(&cfg),
             cfg,
             exec: Executive::with_capacity(event_capacity),
             disks,
@@ -310,6 +347,7 @@ impl<S: TraceSink> MergeSim<S> {
     pub fn replace_sink<T: TraceSink>(self, sink: T) -> MergeSim<T> {
         MergeSim {
             cfg: self.cfg,
+            hot: self.hot,
             exec: self.exec,
             disks: self.disks,
             cache: self.cache,
@@ -517,7 +555,7 @@ impl<S: TraceSink> MergeSim<S> {
                 // Blocked on I/O; an arrival will reschedule the CPU.
                 return;
             }
-            if self.cfg.cpu_per_block.is_zero() {
+            if self.hot.cpu_is_free {
                 continue; // infinitely fast CPU: merge on at this instant
             }
             self.exec.schedule_at(self.cpu_free_at, Event::CpuStep);
@@ -599,7 +637,7 @@ impl<S: TraceSink> MergeSim<S> {
             });
         }
 
-        let issued_total = if self.cfg.strategy.is_inter_run() {
+        let issued_total = if self.hot.inter_run {
             self.issue_inter_run(now, j, demand_blocks)
         } else {
             // No-prefetch / intra-run: the cache-sizing invariant
@@ -661,22 +699,29 @@ impl<S: TraceSink> MergeSim<S> {
             if candidates.is_empty() {
                 continue;
             }
-            let cfg = self.cfg;
-            let cache = &self.cache;
-            let layout = &self.layout;
-            let runs = &self.runs;
-            let head = self.disks.disk(disk).head();
-            let run = cfg.prefetch_choice.pick(&mut self.rng, candidates, |r| {
-                match cfg.prefetch_choice {
-                    crate::PrefetchChoice::Random => 0,
-                    crate::PrefetchChoice::LeastHeld => u64::from(cache.held(r)),
-                    crate::PrefetchChoice::HeadProximity => {
-                        let next = runs[r.0 as usize].next_fetch;
-                        let cyl = cfg.disk_spec.geometry.cylinder_of(layout.block_addr(r, next));
-                        u64::from(cyl.distance(head))
-                    }
+            // One policy match per candidate group (the closure-based
+            // `PrefetchChoice::pick` would re-match per candidate, and its
+            // score closure forced a full `MergeConfig` copy per group).
+            // `pick_min` is `pick`'s own selection rule, so each arm makes
+            // the decision `pick` would and consumes the same RNG draws.
+            let run = match self.hot.choice {
+                crate::PrefetchChoice::Random => *self.rng.choose(candidates),
+                crate::PrefetchChoice::LeastHeld => {
+                    let cache = &self.cache;
+                    crate::PrefetchChoice::pick_min(candidates, |r| u64::from(cache.held(r)))
                 }
-            });
+                crate::PrefetchChoice::HeadProximity => {
+                    let head = self.disks.disk(disk).head();
+                    let layout = &self.layout;
+                    let runs = &self.runs;
+                    let geometry = &self.cfg.disk_spec.geometry;
+                    crate::PrefetchChoice::pick_min(candidates, |r| {
+                        let next = runs[r.0 as usize].next_fetch;
+                        let cyl = geometry.cylinder_of(layout.block_addr(r, next));
+                        u64::from(cyl.distance(head))
+                    })
+                }
+            };
             let p = self.runs[run.0 as usize];
             let blocks = depth.min(p.total - p.next_fetch);
             debug_assert!(blocks >= 1);
@@ -693,7 +738,7 @@ impl<S: TraceSink> MergeSim<S> {
             });
         }
 
-        if self.cfg.admission == pm_cache::AdmissionPolicy::Greedy && groups.len() > 2 {
+        if self.hot.greedy_shuffle && groups.len() > 2 {
             // The greedy alternative admits a prefix of the group list;
             // the paper specifies the choice of which blocks to keep is
             // random, so shuffle the non-demand groups.
@@ -709,7 +754,7 @@ impl<S: TraceSink> MergeSim<S> {
         if full {
             self.full_prefetch_ops += 1;
         }
-        if let crate::PrefetchStrategy::InterRunAdaptive { n_min, n_max } = self.cfg.strategy {
+        if let Some((n_min, n_max)) = self.hot.adaptive_bounds {
             // AIMD: a fully admitted operation earns one more block of
             // depth; a rejection halves it.
             self.current_depth = if full {

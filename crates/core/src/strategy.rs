@@ -55,6 +55,17 @@ impl PrefetchStrategy {
         )
     }
 
+    /// The AIMD depth bounds `(n_min, n_max)` of the adaptive variant,
+    /// `None` for the fixed strategies. Precomputable once per run so the
+    /// post-admission hot path doesn't re-match the strategy per operation.
+    #[must_use]
+    pub fn adaptive_bounds(&self) -> Option<(u32, u32)> {
+        match *self {
+            PrefetchStrategy::InterRunAdaptive { n_min, n_max } => Some((n_min, n_max)),
+            _ => None,
+        }
+    }
+
     /// Short label used in reports ("none", "intra", "inter",
     /// "inter-adaptive").
     #[must_use]

@@ -1,7 +1,7 @@
 //! Per-disk service statistics.
 
 use pm_sim::SimDuration;
-use pm_stats::{Histogram, OnlineStats};
+use pm_stats::{Histogram, HistogramSlot, OnlineStats};
 
 /// Accumulated statistics for one disk.
 ///
@@ -18,7 +18,6 @@ pub struct DiskStats {
     seek_total: SimDuration,
     latency_total: SimDuration,
     transfer_total: SimDuration,
-    busy_total: SimDuration,
     /// Queue-wait moments in raw nanoseconds. Accumulated in integer
     /// arithmetic — exact, associative under [`DiskStats::merge`], and
     /// cheaper per request than a floating-point Welford update — then
@@ -28,6 +27,12 @@ pub struct DiskStats {
     queue_wait_min_ns: u64,
     queue_wait_max_ns: u64,
     seek_distance: Histogram,
+    /// `seek_slots[d]` is the histogram slot for a seek of `d` cylinders,
+    /// precomputed with `Histogram::slot_of` over the whole (small,
+    /// integer) seek-distance domain — the per-request float conversion
+    /// and bin division collapse to one table load with bit-identical
+    /// counts.
+    seek_slots: Vec<HistogramSlot>,
 }
 
 impl DiskStats {
@@ -35,6 +40,10 @@ impl DiskStats {
     /// histogram.
     #[must_use]
     pub fn new(max_cylinder: u32) -> Self {
+        let seek_distance = Histogram::new(0.0, f64::from(max_cylinder.max(1)), 64);
+        let seek_slots = (0..=max_cylinder)
+            .map(|d| seek_distance.slot_of(f64::from(d)))
+            .collect();
         DiskStats {
             requests: 0,
             sequential_requests: 0,
@@ -42,15 +51,16 @@ impl DiskStats {
             seek_total: SimDuration::ZERO,
             latency_total: SimDuration::ZERO,
             transfer_total: SimDuration::ZERO,
-            busy_total: SimDuration::ZERO,
             queue_wait_sum_ns: 0,
             queue_wait_sumsq_ns: 0,
             queue_wait_min_ns: u64::MAX,
             queue_wait_max_ns: 0,
-            seek_distance: Histogram::new(0.0, f64::from(max_cylinder.max(1)), 64),
+            seek_distance,
+            seek_slots,
         }
     }
 
+    #[inline]
     pub(crate) fn record_service(
         &mut self,
         breakdown: crate::ServiceBreakdown,
@@ -60,21 +70,23 @@ impl DiskStats {
         sequential: bool,
     ) {
         self.requests += 1;
-        if sequential {
-            self.sequential_requests += 1;
-        }
+        self.sequential_requests += u64::from(sequential);
         self.blocks += blocks;
         self.seek_total += breakdown.seek;
         self.latency_total += breakdown.latency;
         self.transfer_total += breakdown.transfer;
-        self.busy_total += breakdown.total();
         let wait_ns = queue_wait.as_nanos();
         self.queue_wait_sum_ns += u128::from(wait_ns);
         self.queue_wait_sumsq_ns += u128::from(wait_ns) * u128::from(wait_ns);
         self.queue_wait_min_ns = self.queue_wait_min_ns.min(wait_ns);
         self.queue_wait_max_ns = self.queue_wait_max_ns.max(wait_ns);
         if !sequential {
-            self.seek_distance.record(f64::from(seek_cylinders));
+            match self.seek_slots.get(seek_cylinders as usize) {
+                Some(&slot) => self.seek_distance.record_slot(slot),
+                // Distances beyond the advertised cylinder count (callers
+                // are free to pass them) fall back to direct classification.
+                None => self.seek_distance.record(f64::from(seek_cylinders)),
+            }
         }
     }
 
@@ -115,9 +127,14 @@ impl DiskStats {
     }
 
     /// Total time the disk spent servicing requests.
+    ///
+    /// Derived on demand: every service's busy time is exactly
+    /// `seek + latency + transfer`, and the nanosecond sums are integer
+    /// additions, so summing the three components equals summing per-request
+    /// totals bit-for-bit — one less field on the per-completion hot path.
     #[must_use]
     pub fn busy_total(&self) -> SimDuration {
-        self.busy_total
+        self.seek_total + self.latency_total + self.transfer_total
     }
 
     /// Queue-wait statistics, in milliseconds (one sample per request),
@@ -146,7 +163,7 @@ impl DiskStats {
         if self.requests == 0 {
             None
         } else {
-            Some(self.busy_total.as_millis_f64() / self.requests as f64)
+            Some(self.busy_total().as_millis_f64() / self.requests as f64)
         }
     }
 
@@ -159,7 +176,6 @@ impl DiskStats {
         self.seek_total += other.seek_total;
         self.latency_total += other.latency_total;
         self.transfer_total += other.transfer_total;
-        self.busy_total += other.busy_total;
         self.queue_wait_sum_ns += other.queue_wait_sum_ns;
         self.queue_wait_sumsq_ns += other.queue_wait_sumsq_ns;
         self.queue_wait_min_ns = self.queue_wait_min_ns.min(other.queue_wait_min_ns);

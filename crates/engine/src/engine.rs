@@ -45,7 +45,8 @@ use pm_core::{
     RunLayout, SyncMode, TraceDepletion,
 };
 use pm_disk::{Cylinder, DiskId, DiskRequest, QueueDiscipline};
-use pm_extsort::{LoserTree, Record};
+use pm_core::LoserTree;
+use pm_extsort::Record;
 use pm_sim::{SimDuration, SimRng, SimTime};
 use pm_trace::{pack_tag, unpack_tag, EventKind, RecordingSink, TraceEvent, TraceSink};
 

@@ -2,7 +2,8 @@
 
 use pm_core::{RunId, TraceDepletion};
 
-use crate::{run_formation, LoserTree, Record};
+use crate::{run_formation, Record};
+use pm_core::LoserTree;
 
 /// How sorted runs are formed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use pm_extsort::multipass::{plan_huffman, plan_sequential};
-use pm_extsort::{external_sort, run_formation, ExtSortConfig, LoserTree, Record, RunFormation};
+use pm_core::LoserTree;
+use pm_extsort::{external_sort, run_formation, ExtSortConfig, Record, RunFormation};
 
 fn records(max_len: usize) -> impl Strategy<Value = Vec<Record>> {
     prop::collection::vec(any::<u64>(), 0..max_len).prop_map(|keys| {

@@ -31,5 +31,5 @@ mod time;
 
 pub use events::EventQueue;
 pub use executive::Executive;
-pub use rng::{derive_seeds, SimRng};
+pub use rng::{derive_seeds, SimRng, DRAW_BUFFER_LEN};
 pub use time::{SimDuration, SimTime};

@@ -11,6 +11,15 @@ use crate::SimDuration;
 /// Deterministic xoshiro256\*\* generator with simulation-oriented variate
 /// helpers.
 ///
+/// Outputs are produced through a small refillable draw buffer: the
+/// recurrence is advanced [`DRAW_BUFFER_LEN`] steps at a time with the
+/// 256-bit state held in registers, and individual draws pop prefetched
+/// values. The buffer is purely a batching device — it prefetches the
+/// *same* output stream the recurrence produces one step at a time, so
+/// every consumer sees bit-identical draws regardless of how calls to the
+/// scalar and bulk APIs interleave (pinned by tests against the published
+/// xoshiro vectors and a scalar reference).
+///
 /// # Examples
 ///
 /// ```
@@ -22,10 +31,16 @@ use crate::SimDuration;
 /// let u = rng.uniform_f64();
 /// assert!((0.0..1.0).contains(&u));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SimRng {
     s: [u64; 4],
+    /// Prefetched recurrence outputs; `buf[pos..]` are pending draws.
+    buf: [u64; DRAW_BUFFER_LEN],
+    pos: u8,
 }
+
+/// Number of outputs generated per draw-buffer refill.
+pub const DRAW_BUFFER_LEN: usize = 16;
 
 #[inline]
 fn rotl(x: u64, k: u32) -> u64 {
@@ -54,21 +69,67 @@ impl SimRng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        SimRng { s }
+        SimRng {
+            s,
+            buf: [0; DRAW_BUFFER_LEN],
+            pos: DRAW_BUFFER_LEN as u8,
+        }
     }
 
-    /// Next raw 64-bit output.
+    /// One step of the xoshiro256\*\* recurrence on a borrowed state. This
+    /// is the sole producer of outputs; the draw buffer only batches it.
+    #[inline]
+    fn step(s: &mut [u64; 4]) -> u64 {
+        let result = rotl(s[1].wrapping_mul(5), 7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        result
+    }
+
+    /// Refills the draw buffer: advances the recurrence `DRAW_BUFFER_LEN`
+    /// steps with the state in locals so the per-step loads and stores of
+    /// the scalar path are paid once per batch instead of once per draw.
+    #[inline(never)]
+    fn refill(&mut self) {
+        let mut s = self.s;
+        for slot in &mut self.buf {
+            *slot = Self::step(&mut s);
+        }
+        self.s = s;
+        self.pos = 0;
+    }
+
+    /// Next raw 64-bit output (from the draw buffer; refills as needed).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = rotl(self.s[1].wrapping_mul(5), 7).wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = rotl(self.s[3], 45);
-        result
+        if usize::from(self.pos) == DRAW_BUFFER_LEN {
+            self.refill();
+        }
+        let v = self.buf[usize::from(self.pos)];
+        self.pos += 1;
+        v
+    }
+
+    /// Fills `out` with the next `out.len()` raw outputs — exactly the
+    /// values the same number of [`SimRng::next_u64`] calls would return,
+    /// in the same order. Pending buffered draws are drained first; the
+    /// remainder is generated straight into `out` without touching the
+    /// buffer.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        let pending = DRAW_BUFFER_LEN - usize::from(self.pos);
+        let head = pending.min(out.len());
+        out[..head].copy_from_slice(&self.buf[usize::from(self.pos)..usize::from(self.pos) + head]);
+        self.pos += head as u8;
+        let mut s = self.s;
+        for slot in &mut out[head..] {
+            *slot = Self::step(&mut s);
+        }
+        self.s = s;
     }
 
     /// Uniform value in `[0, 1)` with 53 bits of precision.
@@ -351,6 +412,83 @@ mod tests {
         let mut c1 = parent.fork();
         let mut c2 = parent.fork();
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    /// Scalar reference: the textbook one-step-per-call xoshiro256**, with
+    /// no buffering. The batched generator must reproduce this stream
+    /// exactly no matter how scalar and bulk draws interleave.
+    struct ScalarRef {
+        s: [u64; 4],
+    }
+
+    impl ScalarRef {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            ScalarRef {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            SimRng::step(&mut self.s)
+        }
+    }
+
+    #[test]
+    fn buffered_draws_match_scalar_reference() {
+        let mut buffered = SimRng::seed_from_u64(42);
+        let mut scalar = ScalarRef::seed_from_u64(42);
+        // Cross several refill boundaries.
+        for i in 0..(5 * DRAW_BUFFER_LEN + 3) {
+            assert_eq!(buffered.next_u64(), scalar.next_u64(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn fill_u64_matches_scalar_reference() {
+        let mut buffered = SimRng::seed_from_u64(43);
+        let mut scalar = ScalarRef::seed_from_u64(43);
+        // Bulk sizes that start empty, end mid-buffer, and span refills.
+        for len in [1, DRAW_BUFFER_LEN - 1, DRAW_BUFFER_LEN, 3 * DRAW_BUFFER_LEN + 5, 0, 2] {
+            let mut out = vec![0u64; len];
+            buffered.fill_u64(&mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, scalar.next_u64(), "len={len} draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_scalar_and_bulk_draws_share_one_stream() {
+        let mut mixed = SimRng::seed_from_u64(44);
+        let mut scalar = ScalarRef::seed_from_u64(44);
+        for round in 0..20 {
+            // A few scalar draws...
+            for i in 0..round % 7 {
+                assert_eq!(mixed.next_u64(), scalar.next_u64(), "round {round} scalar {i}");
+            }
+            // ...then a bulk fill; the stream must not skip or repeat.
+            let mut out = vec![0u64; (round * 3) % (DRAW_BUFFER_LEN + 4)];
+            mixed.fill_u64(&mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, scalar.next_u64(), "round {round} bulk {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_preserves_pending_buffered_draws() {
+        let mut a = SimRng::seed_from_u64(45);
+        let _ = a.next_u64(); // leave the clone mid-buffer
+        let mut b = a.clone();
+        for _ in 0..(2 * DRAW_BUFFER_LEN) {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

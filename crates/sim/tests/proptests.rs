@@ -71,6 +71,92 @@ proptest! {
         prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
     }
 
+    /// Tournament winner selection is equivalent to a linear min-scan:
+    /// for an arbitrary interleaving of schedules and pops, the
+    /// tournament-backed queue (large capacity), the linear-backed queue
+    /// (small capacity), and a naive reference that scans all pending
+    /// events for the minimum `(time, insertion order)` all pop the same
+    /// winners in the same FIFO-tie-broken order.
+    #[test]
+    fn tournament_matches_linear_min_scan(
+        ops in prop::collection::vec((0u64..500, 0usize..3), 1..200)
+    ) {
+        let mut linear = EventQueue::new();
+        let mut tree = EventQueue::with_capacity(256);
+        prop_assert!(!linear.is_tournament());
+        prop_assert!(tree.is_tournament());
+        // Naive reference: all pending events, winner by full min-scan.
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        let drain = |n: usize,
+                         linear: &mut EventQueue<usize>,
+                         tree: &mut EventQueue<usize>,
+                         reference: &mut Vec<(u64, usize)>|
+         -> Result<(), TestCaseError> {
+            for _ in 0..n {
+                let expect = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &(t, id))| (t, id))
+                    .map(|(i, &(t, id))| (i, t, id));
+                let a = linear.pop();
+                let b = tree.pop();
+                match expect {
+                    None => {
+                        prop_assert!(a.is_none() && b.is_none());
+                    }
+                    Some((i, t, id)) => {
+                        reference.remove(i);
+                        let want = Some((SimTime::from_nanos(t), id));
+                        prop_assert_eq!(a, want, "linear vs min-scan");
+                        prop_assert_eq!(b, want, "tournament vs min-scan");
+                    }
+                }
+            }
+            Ok(())
+        };
+        for &(time, pops) in &ops {
+            linear.schedule(SimTime::from_nanos(time), next_id);
+            tree.schedule(SimTime::from_nanos(time), next_id);
+            reference.push((time, next_id));
+            next_id += 1;
+            drain(pops, &mut linear, &mut tree, &mut reference)?;
+        }
+        drain(ops.len() + 2, &mut linear, &mut tree, &mut reference)?;
+        prop_assert!(linear.is_empty() && tree.is_empty());
+    }
+
+    /// Batched draws reproduce the scalar draw sequence exactly: any
+    /// interleaving of `fill_u64` bulk requests and scalar `next_u64`
+    /// calls yields the same stream as scalar draws alone.
+    #[test]
+    fn batched_rng_draws_match_scalar_sequence(
+        seed in any::<u64>(),
+        chunks in prop::collection::vec(0usize..40, 1..30)
+    ) {
+        let mut batched = SimRng::seed_from_u64(seed);
+        let mut scalar = SimRng::seed_from_u64(seed);
+        for (round, &len) in chunks.iter().enumerate() {
+            if round % 2 == 0 {
+                let mut out = vec![0u64; len];
+                batched.fill_u64(&mut out);
+                for (i, &v) in out.iter().enumerate() {
+                    prop_assert_eq!(v, scalar.next_u64(), "bulk round {} draw {}", round, i);
+                }
+            } else {
+                for i in 0..len {
+                    prop_assert_eq!(
+                        batched.next_u64(),
+                        scalar.next_u64(),
+                        "scalar round {} draw {}",
+                        round,
+                        i
+                    );
+                }
+            }
+        }
+    }
+
     /// Time arithmetic round-trips: (t + d) - t == d.
     #[test]
     fn time_arithmetic_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {

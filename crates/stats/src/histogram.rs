@@ -20,6 +20,18 @@ pub struct Histogram {
     count: u64,
 }
 
+/// Where a sample lands in a [`Histogram`]: produced by
+/// [`Histogram::slot_of`], consumed by [`Histogram::record_slot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramSlot {
+    /// Below the lower bound.
+    Underflow,
+    /// At or above the upper bound.
+    Overflow,
+    /// In-range, at this bin index.
+    Bin(u32),
+}
+
 impl Histogram {
     /// Creates a histogram over `[low, high)` with `bins` equal-width bins.
     ///
@@ -44,18 +56,45 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: f64) {
-        self.count += 1;
+        let slot = self.slot_of(value);
+        self.record_slot(slot);
+    }
+
+    /// Classifies `value` without recording it: the slot [`Histogram::record`]
+    /// would increment. Callers whose samples come from a small discrete
+    /// domain (e.g. integer seek distances) can classify each domain value
+    /// once and record through [`Histogram::record_slot`]; because the
+    /// table is built by this exact function, the resulting counts are
+    /// bit-identical to classifying every sample individually.
+    #[must_use]
+    pub fn slot_of(&self, value: f64) -> HistogramSlot {
         if value < self.low {
-            self.underflow += 1;
+            HistogramSlot::Underflow
         } else if value >= self.high {
-            self.overflow += 1;
+            HistogramSlot::Overflow
         } else {
             let mut idx = ((value - self.low) / self.width) as usize;
             // Guard against floating-point edge cases at the upper bound.
             if idx >= self.bins.len() {
                 idx = self.bins.len() - 1;
             }
-            self.bins[idx] += 1;
+            HistogramSlot::Bin(idx as u32)
+        }
+    }
+
+    /// Records one sample pre-classified by [`Histogram::slot_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Bin` slot is out of range (i.e. the slot came from a
+    /// histogram with a different configuration).
+    #[inline]
+    pub fn record_slot(&mut self, slot: HistogramSlot) {
+        self.count += 1;
+        match slot {
+            HistogramSlot::Underflow => self.underflow += 1,
+            HistogramSlot::Overflow => self.overflow += 1,
+            HistogramSlot::Bin(idx) => self.bins[idx as usize] += 1,
         }
     }
 

@@ -28,7 +28,7 @@ mod timeweighted;
 
 pub use ci::ConfidenceInterval;
 pub use counter::Counter;
-pub use histogram::Histogram;
+pub use histogram::{Histogram, HistogramSlot};
 pub use online::OnlineStats;
 pub use timeweighted::TimeWeighted;
 
