@@ -1,18 +1,20 @@
 //! Wall-clock performance smoke harness for the merge simulator.
 //!
-//! Runs a fixed matrix of paper configurations (strategy × D), measures
-//! simulator throughput in merged blocks per wall-clock second (reported
-//! from the fastest repeat — the workload is deterministic, so noise only
-//! ever slows a run down), probes the steady-state allocation behaviour of
-//! the hot path with a counting global allocator, and emits everything as
-//! `BENCH_core.json` so every PR leaves a measurable perf trajectory
-//! behind.
+//! Runs a fixed matrix of paper configurations (strategy × D) plus the
+//! `contend_d8_t4` multi-tenant service mix, measures throughput in
+//! merged blocks (resp. replayed requests) per wall-clock second
+//! (reported from the fastest repeat — the workload is deterministic, so
+//! noise only ever slows a run down), probes the steady-state allocation
+//! behaviour of the hot path, the tenant-scheduling layer, and the full
+//! observability pipeline with a counting global allocator, and emits
+//! everything as `BENCH_core.json` so every PR leaves a measurable perf
+//! trajectory behind.
 //!
 //! Flags:
 //!
 //! * `--out <path>` — where to write the JSON (default `BENCH_core.json`).
 //! * `--snapshot <path>` — additionally write the same JSON as a per-PR
-//!   snapshot (default `BENCH_PR7.json`; CI uploads it as an artifact).
+//!   snapshot (default `BENCH_PR8.json`; CI uploads it as an artifact).
 //! * `--repeats <n>` — timed repetitions per scenario (default 5).
 //! * `--quick` — 2 repeats; for CI smoke runs.
 //! * `--baseline <path>` — compare against a previously emitted JSON and
@@ -20,8 +22,9 @@
 //!   `--max-regress` percent.
 //! * `--max-regress <pct>` — regression tolerance (default 30).
 //! * `--check-alloc` — exit non-zero unless the steady-state demand path
-//!   performs zero heap allocations per merged block — both bare and under
-//!   the full observability pipeline (progress sink + manifest rendering).
+//!   performs zero heap allocations per merged block — bare, under the
+//!   full observability pipeline (progress sink + manifest rendering),
+//!   and per replayed request in the tenant-scheduling layer.
 //! * `--check-trace` — exit non-zero unless a run recorded with a
 //!   `RecordingSink` reports bit-identically to the default (`NullSink`)
 //!   build of the same configuration — tracing must be observation-only.
@@ -41,6 +44,10 @@ use pm_core::{MergeConfig, MergeSim, RecordingSink, ScenarioBuilder, SyncMode, U
 use pm_obs::{
     render_manifest, run_suite, PointSpec, ProgressSink, RecordKind, SuiteOptions, TrialsMode,
 };
+use pm_service::{
+    SharedSpec, StaticPartition, TenantJob, TenantSim, TenantSimOptions, Wfq,
+};
+use pm_sim::SimDuration;
 
 /// A pass-through allocator that counts every allocation, so the harness
 /// can prove the simulator's steady state is allocation-free.
@@ -184,6 +191,82 @@ fn measure(s: &Scenario, repeats: u32) -> Measured {
     }
 }
 
+/// The `contend_d8_t4` service mix: four heterogeneous tenants — a
+/// deep-batch big job, a mid job, and two shallow small jobs arriving in
+/// a later burst — contending for 8 shared disks under WFQ.
+fn contend_jobs(run_blocks: u32) -> Vec<TenantJob> {
+    let job = |name: &str, runs: u32, disks: u32, n: u32, arrival_ms: u64, priority: u32| {
+        TenantJob {
+            name: name.into(),
+            scenario: ScenarioBuilder::new(runs, disks)
+                .inter(n)
+                .run_blocks(run_blocks)
+                .build()
+                .expect("valid contend scenario"),
+            arrival: SimDuration::from_millis(arrival_ms),
+            priority,
+        }
+    };
+    vec![
+        job("big", 12, 8, 8, 0, 2),
+        job("mid", 8, 6, 4, 0, 1),
+        job("small-a", 6, 4, 2, 250, 1),
+        job("small-b", 4, 2, 2, 250, 1),
+    ]
+}
+
+const CONTEND_SHARED: SharedSpec = SharedSpec { disks: 8, cache_blocks: 24000 };
+
+/// Times the full `TenantSim::run` — isolated profiles, per-tenant
+/// baselines, contended WFQ replay — and reports throughput in replayed
+/// requests per second. The simulator and scheduler are reused across
+/// repeats, as a sweeping caller would hold them.
+fn measure_contend(repeats: u32) -> Measured {
+    let jobs = contend_jobs(60);
+    let mut sim = TenantSim::new(CONTEND_SHARED);
+    let mut wfq = Wfq::new();
+    let opts = TenantSimOptions { jobs: 1 };
+    // Warm-up run: page in code, size the reused scratch state.
+    let _ = sim
+        .run(&jobs, &StaticPartition, &mut wfq, 1992, &opts)
+        .expect("valid contend scenario");
+    let (a0, b0) = alloc_snapshot();
+    let total_started = Instant::now();
+    let mut blocks = 0u64;
+    let mut best: Option<(u128, u64)> = None;
+    for i in 0..repeats {
+        let run_started = Instant::now();
+        let report = sim
+            .run(&jobs, &StaticPartition, &mut wfq, 1992 + u64::from(i), &opts)
+            .expect("valid contend scenario");
+        let run_ns = run_started.elapsed().as_nanos().max(1);
+        let requests: u64 = report.tenants.iter().map(|t| t.requests).sum();
+        blocks += requests;
+        let better = match best {
+            None => true,
+            Some((b_ns, b_reqs)) => run_ns * u128::from(b_reqs) < b_ns * u128::from(requests),
+        };
+        if better {
+            best = Some((run_ns, requests));
+        }
+    }
+    let elapsed_ns = total_started.elapsed().as_nanos().max(1);
+    let (a1, b1) = alloc_snapshot();
+    let (best_ns, best_reqs) = best.expect("at least one repeat");
+    Measured {
+        name: "contend_d8_t4".to_string(),
+        strategy: "contend",
+        d: 8,
+        repeats,
+        blocks,
+        elapsed_ns,
+        ops_per_sec: best_reqs as f64 / (best_ns as f64 / 1e9),
+        ns_per_block: best_ns as f64 / best_reqs as f64,
+        allocs: a1 - a0,
+        alloc_bytes: b1 - b0,
+    }
+}
+
 /// Steady-state allocation probe: simulate the same configuration at two
 /// run lengths and count heap allocations inside `run()` only
 /// (construction excluded). If the per-operation hot path is
@@ -211,6 +294,45 @@ fn alloc_probe() -> AllocProbe {
     let _ = run_counted(100);
     let (base_blocks, base_allocs) = run_counted(400);
     let (scaled_blocks, scaled_allocs) = run_counted(1600);
+    let extra_blocks = scaled_blocks - base_blocks;
+    AllocProbe {
+        base_blocks,
+        base_allocs,
+        scaled_blocks,
+        scaled_allocs,
+        per_block_allocs: (scaled_allocs as f64 - base_allocs as f64) / extra_blocks as f64,
+    }
+}
+
+/// Scheduling-layer allocation probe: the `contend_d8_t4` mix at two run
+/// lengths through one reused [`TenantSim`] + [`Wfq`]. Admission work —
+/// cache grants, isolated profiles, lane building, the report itself —
+/// allocates identically at both lengths and cancels out of the
+/// difference; only a per-request cost in the contention replay loop
+/// could survive, and there must be none (lanes, disk queues, and the
+/// event calendar are pre-sized at admission).
+fn contend_alloc_probe() -> AllocProbe {
+    let mut sim = TenantSim::new(CONTEND_SHARED);
+    let mut wfq = Wfq::new();
+    let opts = TenantSimOptions { jobs: 1 };
+    let mut run_counted = |run_blocks: u32| -> (u64, u64) {
+        let jobs = contend_jobs(run_blocks);
+        let (a0, _) = alloc_snapshot();
+        let report = sim
+            .run(&jobs, &StaticPartition, &mut wfq, 1992, &opts)
+            .expect("valid contend probe config");
+        let (a1, _) = alloc_snapshot();
+        let requests: u64 = report.tenants.iter().map(|t| t.requests).sum();
+        (requests, a1 - a0)
+    };
+    // Warm-up at the *largest* length: the isolated profiles inside the
+    // run contain cache-bounded structures that ramp lazily to their
+    // high-water mark, and with multi-thousand-block cache grants a
+    // short run never gets there. Warming at the scaled length
+    // saturates them, so both counted lengths run in true steady state.
+    let _ = run_counted(6400);
+    let (base_blocks, base_allocs) = run_counted(1600);
+    let (scaled_blocks, scaled_allocs) = run_counted(6400);
     let extra_blocks = scaled_blocks - base_blocks;
     AllocProbe {
         base_blocks,
@@ -304,7 +426,12 @@ fn trace_check() -> bool {
     }
 }
 
-fn render_json(results: &[Measured], probe: &AllocProbe, obs_probe: &AllocProbe) -> String {
+fn render_json(
+    results: &[Measured],
+    probe: &AllocProbe,
+    contend_probe: &AllocProbe,
+    obs_probe: &AllocProbe,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"pm-bench/perf-smoke/v1\",\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -335,6 +462,16 @@ fn render_json(results: &[Measured], probe: &AllocProbe, obs_probe: &AllocProbe)
         probe.scaled_blocks,
         probe.scaled_allocs,
         probe.per_block_allocs
+    );
+    let _ = writeln!(
+        out,
+        "  \"contend_alloc_probe\": {{\"base_blocks\": {}, \"base_allocs\": {}, \
+         \"scaled_blocks\": {}, \"scaled_allocs\": {}, \"per_block_allocs\": {:.4}}},",
+        contend_probe.base_blocks,
+        contend_probe.base_allocs,
+        contend_probe.scaled_blocks,
+        contend_probe.scaled_allocs,
+        contend_probe.per_block_allocs
     );
     let _ = write!(
         out,
@@ -380,7 +517,7 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_core.json");
-    let mut snapshot_path = String::from("BENCH_PR7.json");
+    let mut snapshot_path = String::from("BENCH_PR8.json");
     let mut repeats = 5u32;
     let mut baseline: Option<String> = None;
     let mut max_regress_pct = 30.0f64;
@@ -423,6 +560,14 @@ fn main() -> ExitCode {
         );
         results.push(m);
     }
+    {
+        let m = measure_contend(repeats);
+        println!(
+            "{:<20} D={:<2} {:>12.0} reqs/s    {:>8.1} ns/req    {:>9} allocs",
+            m.name, m.d, m.ops_per_sec, m.ns_per_block, m.allocs
+        );
+        results.push(m);
+    }
     let probe = alloc_probe();
     println!(
         "alloc probe: {} blocks -> {} allocs, {} blocks -> {} allocs ({:.4} allocs/block)",
@@ -431,6 +576,16 @@ fn main() -> ExitCode {
         probe.scaled_blocks,
         probe.scaled_allocs,
         probe.per_block_allocs
+    );
+    let contend_probe = contend_alloc_probe();
+    println!(
+        "contend alloc probe (scheduling layer): {} reqs -> {} allocs, \
+         {} reqs -> {} allocs ({:.4} allocs/req)",
+        contend_probe.base_blocks,
+        contend_probe.base_allocs,
+        contend_probe.scaled_blocks,
+        contend_probe.scaled_allocs,
+        contend_probe.per_block_allocs
     );
     let obs_probe = obs_alloc_probe();
     println!(
@@ -443,7 +598,7 @@ fn main() -> ExitCode {
         obs_probe.per_block_allocs
     );
 
-    let json = render_json(&results, &probe, &obs_probe);
+    let json = render_json(&results, &probe, &contend_probe, &obs_probe);
     fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");
     fs::write(&snapshot_path, &json).expect("write snapshot JSON");
@@ -454,6 +609,14 @@ fn main() -> ExitCode {
         eprintln!(
             "FAIL: steady-state demand path allocates ({:.4} allocs per merged block)",
             probe.per_block_allocs
+        );
+        failed = true;
+    }
+    if check_alloc && contend_probe.per_block_allocs > 0.0 {
+        eprintln!(
+            "FAIL: scheduling layer allocates in steady state \
+             ({:.4} allocs per replayed request)",
+            contend_probe.per_block_allocs
         );
         failed = true;
     }

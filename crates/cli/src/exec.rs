@@ -522,6 +522,7 @@ fn multipass_manifest(
                 p.fan_in,
             ),
             pass: Some(p.pass + 1),
+            tenant: None,
             sweep: None,
             x: None,
             x_label: None,
@@ -604,6 +605,7 @@ fn multipass_manifest(
             total,
         ),
         pass: None,
+        tenant: None,
         sweep: None,
         x: None,
         x_label: None,
@@ -782,6 +784,7 @@ fn manifest_record(
             cfg.strategy.label(),
         ),
         pass: None,
+        tenant: None,
         sweep: None,
         x: None,
         x_label: None,

@@ -12,6 +12,7 @@ mod batch;
 mod commands;
 mod exec;
 mod plan;
+mod service;
 
 use args::Args;
 use pm_core::PmError;
@@ -43,6 +44,14 @@ COMMANDS:
     plan       Preview a multi-pass merge schedule: per-pass fan-in,
                groups, blocks read, and the simulator's predicted read
                time under the greedy-max and balanced policies
+    contend    Simulate N tenant merges contending for shared disks and
+               cache under pluggable scheduling (fifo | wfq | priority)
+               and cache-partitioning (static | proportional | free)
+               policies; prints per-tenant slowdown and fairness
+    serve      Admit tenant jobs from a scenario file and execute them
+               concurrently on the real-I/O engine through one shared
+               device set, verifying each job byte-identical to its
+               isolated run
 
 SCENARIO OPTIONS (simulate, sweep):
     --runs <k>          number of sorted runs            [default: 25]
@@ -129,6 +138,37 @@ formation, so --runs/--blocks/--trials do not apply):
                         finishes in P passes
     --plan-policy <p>   greedy-max | balanced            [default: greedy-max]
 
+CONTEND OPTIONS:
+    --scenario-file <p> tenant roster JSON: {\"disks\", \"cache_blocks\",
+                        \"tenants\": [{name, runs, run_blocks, disks,
+                        strategy, n, cache, arrival_ms, priority}]}
+    --tenants <n>       instead of a file: synthesize n tenants with
+                        heterogeneous prefetch depths and skewed
+                        arrival bursts
+    --disks <D>         shared disks (overrides the file) [default: 4]
+    --cache <C>         shared cache blocks (overrides the file)
+                        [default: 24000 synthesized]
+    --sched <list>      comma list of fifo | wfq | priority
+                        [default: fifo,wfq]
+    --cache-policy <l>  comma list of static | proportional | free
+                        [default: static]
+    --jobs <j>          isolated-profile worker threads (0 = all cores;
+                        the report is identical for every value)
+    --seed <s>          master seed                      [default: 1992]
+    --csv <path>        write the per-tenant sweep as CSV
+    --manifest-out <p>  write JSONL manifest (kind \"contend\")
+
+SERVE OPTIONS:
+    --scenario-file <p> tenant roster JSON as for contend; per-tenant
+                        \"records\" and \"memory\" size the workload
+    --sched <s>         fifo | wfq | priority            [default: wfq]
+    --cache-policy <c>  static | proportional | free     [default: static]
+    --rpb <r>           records per on-device block      [default: 20]
+    --queue <q>         per-port request-queue depth     [default: 8]
+    --seed <s>          master seed                      [default: 1992]
+    --manifest-out <p>  write JSONL manifest: one per-tenant \"exec\"
+                        record tagged with its service terms
+
 PLAN OPTIONS (scenario flags as above; no merge is executed):
     --runs <k>          plan k uniform runs              [default: 25]
     --blocks <B>        blocks per uniform run           [default: 1000]
@@ -161,6 +201,8 @@ fn main() {
         Some("report") => commands::report(&args),
         Some("exec") => exec::exec(&args),
         Some("plan") => plan::plan(&args),
+        Some("contend") => service::contend(&args),
+        Some("serve") => service::serve(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

@@ -1,9 +1,9 @@
 //! [`ScenarioBuilder`] — the one way to construct a merge scenario.
 //!
-//! The workspace grew three `MergeConfig::paper_*` constructors plus a
-//! scattering of hand-rolled struct literals, each re-deriving the
-//! paper's defaults (1000-block runs, unsynchronized operation, FIFO
-//! queues, the paper's disk) and its depth-aware cache sizing
+//! The workspace once grew several ad-hoc `MergeConfig` constructors
+//! and a scattering of hand-rolled struct literals, each re-deriving
+//! the paper's defaults (1000-block runs, unsynchronized operation,
+//! FIFO queues, the paper's disk) and its depth-aware cache sizing
 //! (`k·N` frames, quadrupled for inter-run prefetch so prefetch targets
 //! have room beyond the initial load). The builder centralizes those
 //! defaults: start from [`ScenarioBuilder::new`], override what the
@@ -303,34 +303,6 @@ impl ScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The deprecated `paper_*` constructors must stay byte-for-byte
-    /// equivalent to their builder spellings until they are removed.
-    #[test]
-    #[allow(deprecated)]
-    fn builder_pins_deprecated_constructor_equivalence() {
-        for (k, d) in [(25, 5), (50, 10), (4, 2)] {
-            assert_eq!(
-                ScenarioBuilder::new(k, d).build().unwrap(),
-                MergeConfig::paper_no_prefetch(k, d),
-            );
-            for n in [1, 5, 30] {
-                assert_eq!(
-                    ScenarioBuilder::new(k, d).intra(n).build().unwrap(),
-                    MergeConfig::paper_intra(k, d, n),
-                );
-                let cache = 4 * k * n;
-                assert_eq!(
-                    ScenarioBuilder::new(k, d)
-                        .inter(n)
-                        .cache_blocks(cache)
-                        .build()
-                        .unwrap(),
-                    MergeConfig::paper_inter(k, d, n, cache),
-                );
-            }
-        }
-    }
 
     #[test]
     fn inter_default_cache_is_quadrupled() {

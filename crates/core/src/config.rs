@@ -158,59 +158,6 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 impl MergeConfig {
-    /// The paper's no-prefetching baseline: cache of `k` blocks, one per
-    /// run.
-    #[must_use]
-    #[deprecated(note = "use `ScenarioBuilder::new(k, d).build()` instead")]
-    pub fn paper_no_prefetch(k: u32, d: u32) -> Self {
-        MergeConfig {
-            runs: k,
-            run_blocks: 1000,
-            disks: d,
-            layout: DataLayout::Concatenated,
-            strategy: PrefetchStrategy::None,
-            sync: SyncMode::Unsynchronized,
-            cache_blocks: k,
-            cpu_per_block: SimDuration::ZERO,
-            admission: AdmissionPolicy::AllOrNothing,
-            prefetch_choice: PrefetchChoice::Random,
-            per_run_cap: None,
-            discipline: QueueDiscipline::Fifo,
-            disk_spec: DiskSpec::paper(),
-            write: None,
-            seed: 0,
-        }
-    }
-
-    /// The paper's intra-run ("Demand Run Only") configuration: cache of
-    /// exactly `k·N` blocks, which guarantees every `N`-block fetch fits.
-    #[must_use]
-    #[deprecated(note = "use `ScenarioBuilder::new(k, d).intra(n).build()` instead")]
-    pub fn paper_intra(k: u32, d: u32, n: u32) -> Self {
-        #[allow(deprecated)]
-        MergeConfig {
-            strategy: PrefetchStrategy::IntraRun { n },
-            cache_blocks: k * n,
-            ..Self::paper_no_prefetch(k, d)
-        }
-    }
-
-    /// The paper's combined inter-run + intra-run ("All Disks One Run")
-    /// configuration with an explicit cache size (the independent variable
-    /// of Figures 5 and 6).
-    #[must_use]
-    #[deprecated(
-        note = "use `ScenarioBuilder::new(k, d).inter(n).cache_blocks(cache_blocks).build()` instead"
-    )]
-    pub fn paper_inter(k: u32, d: u32, n: u32, cache_blocks: u32) -> Self {
-        #[allow(deprecated)]
-        MergeConfig {
-            strategy: PrefetchStrategy::InterRun { n },
-            cache_blocks,
-            ..Self::paper_no_prefetch(k, d)
-        }
-    }
-
     /// Minimum cache capacity: the initial load places
     /// `min(N, run_blocks)` blocks of every run.
     #[must_use]
@@ -293,49 +240,62 @@ impl MergeConfig {
 }
 
 #[cfg(test)]
-// The deprecated `paper_*` shims are still the most compact spelling for
-// these validation cases (and are themselves under test).
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::ScenarioBuilder;
+
+    /// The paper's no-prefetching baseline over `d` disks.
+    fn base(k: u32, d: u32) -> MergeConfig {
+        ScenarioBuilder::new(k, d).build().unwrap()
+    }
+
+    /// The paper's intra-run configuration (cache `k·n` by default).
+    fn intra(k: u32, d: u32, n: u32) -> MergeConfig {
+        ScenarioBuilder::new(k, d).intra(n).build().unwrap()
+    }
 
     #[test]
-    fn paper_constructors_validate() {
-        assert!(MergeConfig::paper_no_prefetch(25, 1).validate().is_ok());
-        assert!(MergeConfig::paper_no_prefetch(25, 5).validate().is_ok());
-        assert!(MergeConfig::paper_intra(50, 10, 30).validate().is_ok());
-        assert!(MergeConfig::paper_inter(25, 5, 10, 600).validate().is_ok());
+    fn builder_scenarios_validate() {
+        assert!(base(25, 1).validate().is_ok());
+        assert!(base(25, 5).validate().is_ok());
+        assert!(intra(50, 10, 30).validate().is_ok());
+        let c = ScenarioBuilder::new(25, 5)
+            .inter(10)
+            .cache_blocks(600)
+            .build()
+            .unwrap();
+        assert!(c.validate().is_ok());
     }
 
     #[test]
     fn intra_cache_is_kn() {
-        let c = MergeConfig::paper_intra(25, 5, 10);
+        let c = intra(25, 5, 10);
         assert_eq!(c.cache_blocks, 250);
         assert_eq!(c.min_cache_blocks(), 250);
     }
 
     #[test]
     fn zero_parameters_rejected() {
-        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        let mut c = base(25, 5);
         c.runs = 0;
         assert_eq!(c.validate(), Err(ConfigError::ZeroParameter("runs")));
 
-        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        let mut c = base(25, 5);
         c.disks = 0;
         assert_eq!(c.validate(), Err(ConfigError::ZeroParameter("disks")));
 
-        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        let mut c = base(25, 5);
         c.run_blocks = 0;
         assert_eq!(c.validate(), Err(ConfigError::ZeroParameter("run_blocks")));
 
-        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        let mut c = base(25, 5);
         c.strategy = PrefetchStrategy::IntraRun { n: 0 };
         assert_eq!(c.validate(), Err(ConfigError::ZeroDepth));
     }
 
     #[test]
     fn undersized_cache_rejected() {
-        let mut c = MergeConfig::paper_intra(25, 5, 10);
+        let mut c = intra(25, 5, 10);
         c.cache_blocks = 249;
         assert!(matches!(
             c.validate(),
@@ -348,25 +308,28 @@ mod tests {
 
     #[test]
     fn oversubscribed_disk_rejected() {
-        let c = MergeConfig::paper_no_prefetch(60, 1);
+        // 60 x 1000-block runs exceed one paper disk's 53,760 blocks.
+        let mut c = base(50, 1);
+        c.runs = 60;
+        c.cache_blocks = 60;
         assert!(matches!(c.validate(), Err(ConfigError::DiskTooSmall { .. })));
     }
 
     #[test]
     fn min_cache_clamps_to_run_length() {
-        let mut c = MergeConfig::paper_intra(4, 2, 50);
+        let mut c = intra(4, 2, 50);
         c.run_blocks = 20;
         assert_eq!(c.min_cache_blocks(), 4 * 20);
     }
 
     #[test]
     fn total_blocks() {
-        assert_eq!(MergeConfig::paper_no_prefetch(25, 5).total_blocks(), 25_000);
+        assert_eq!(base(25, 5).total_blocks(), 25_000);
     }
 
     #[test]
     fn write_spec_is_validated() {
-        let mut c = MergeConfig::paper_no_prefetch(25, 5);
+        let mut c = base(25, 5);
         c.write = Some(crate::WriteSpec { disks: 2, buffer_blocks: 32 });
         assert!(c.validate().is_ok());
         c.write = Some(crate::WriteSpec { disks: 0, buffer_blocks: 32 });
@@ -379,7 +342,7 @@ mod tests {
     fn undersized_write_disks_rejected() {
         // 50 runs x 1000 blocks on one write disk: 50,000 > 53,760 fits;
         // bump runs so it does not.
-        let mut c = MergeConfig::paper_no_prefetch(50, 10);
+        let mut c = base(50, 10);
         c.write = Some(crate::WriteSpec { disks: 1, buffer_blocks: 8 });
         assert!(c.validate().is_ok());
         c.runs = 54;
@@ -389,7 +352,7 @@ mod tests {
 
     #[test]
     fn striped_layout_validates() {
-        let mut c = MergeConfig::paper_intra(25, 5, 10);
+        let mut c = intra(25, 5, 10);
         c.layout = DataLayout::Striped;
         assert!(c.validate().is_ok());
         // Striping lets even 100 runs fit on one "disk" worth of bands.

@@ -48,11 +48,12 @@ use pm_disk::{Cylinder, DiskId, DiskRequest, QueueDiscipline};
 use pm_core::LoserTree;
 use pm_extsort::Record;
 use pm_sim::{SimDuration, SimRng, SimTime};
-use pm_trace::{pack_tag, unpack_tag, EventKind, RecordingSink, TraceEvent, TraceSink};
+use pm_trace::{pack_tenant_tag, unpack_tag, unpack_tenant_tag, EventKind, RecordingSink, TraceEvent, TraceSink};
 
 use crate::block::{block_bytes, decode_records, encode_records};
 use crate::device::BlockDevice;
-use crate::workers::{IoPool, IoRequest};
+use crate::shared::SharedPort;
+use crate::workers::{IoPool, IoPort, IoRequest};
 
 /// How to execute a merge: the scenario plus engine-only knobs.
 #[derive(Debug, Clone, Copy)]
@@ -314,7 +315,46 @@ impl MergeEngine {
     /// Panics if an internal invariant breaks (mirroring the
     /// simulator's own invariant assertions).
     pub fn execute(&self, device: Arc<dyn BlockDevice>) -> Result<ExecOutcome, PmError> {
-        let mut state = ExecState::new(self, device);
+        let d = self.merge.disks as usize;
+        let epoch = Instant::now();
+        let pool = IoPool::start(
+            device,
+            d,
+            self.cfg.jobs,
+            self.cfg.queue_capacity,
+            self.cfg.time_scale,
+            epoch,
+        );
+        let mut state = ExecState::new(self, Box::new(pool), 0, epoch);
+        state.run()
+    }
+
+    /// Executes the merge through a [`crate::SharedDeviceSet`] port:
+    /// same decision procedure, but the disks are shared with other
+    /// jobs and the set's [`pm_service::IoSched`] picks service order.
+    /// Trace event tags carry the port's tenant id
+    /// ([`pm_trace::pack_tenant_tag`]); run ids must fit
+    /// [`pm_trace::TENANT_TAG_MAX_RUN`].
+    ///
+    /// # Errors
+    ///
+    /// [`PmError::Io`] if a block read fails or the set shuts down with
+    /// requests outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal invariant breaks (mirroring the
+    /// simulator's own invariant assertions).
+    pub fn execute_shared(&self, port: SharedPort) -> Result<ExecOutcome, PmError> {
+        if self.merge.runs > pm_trace::TENANT_TAG_MAX_RUN {
+            return Err(PmError::Usage(format!(
+                "shared execution tags cap runs at {} (scenario has {})",
+                pm_trace::TENANT_TAG_MAX_RUN,
+                self.merge.runs
+            )));
+        }
+        let tenant = port.tenant();
+        let mut state = ExecState::new(self, Box::new(port), tenant, Instant::now());
         state.run()
     }
 
@@ -369,7 +409,9 @@ const DEAD: usize = usize::MAX;
 
 struct ExecState<'a> {
     plan: &'a MergeEngine,
-    pool: IoPool,
+    port: Box<dyn IoPort>,
+    /// Tenant id stamped into trace tags (0 for dedicated runs).
+    tenant: u16,
     epoch: Instant,
     cache: BlockCache,
     rng: SimRng,
@@ -399,7 +441,7 @@ struct ExecState<'a> {
 }
 
 impl<'a> ExecState<'a> {
-    fn new(plan: &'a MergeEngine, device: Arc<dyn BlockDevice>) -> Self {
+    fn new(plan: &'a MergeEngine, port: Box<dyn IoPort>, tenant: u16, epoch: Instant) -> Self {
         let merge = &plan.merge;
         let d = merge.disks as usize;
         let k = merge.runs as usize;
@@ -422,18 +464,10 @@ impl<'a> ExecState<'a> {
                 fetchable_pos[r.0 as usize] = i;
             }
         }
-        let epoch = Instant::now();
-        let pool = IoPool::start(
-            device,
-            d,
-            plan.cfg.jobs,
-            plan.cfg.queue_capacity,
-            plan.cfg.time_scale,
-            epoch,
-        );
         ExecState {
             plan,
-            pool,
+            port,
+            tenant,
             epoch,
             cache: BlockCache::new(merge.cache_blocks, merge.runs),
             rng,
@@ -511,7 +545,7 @@ impl<'a> ExecState<'a> {
         assert_eq!(self.cache.total_resident(), 0, "blocks left undepleted");
         assert_eq!(output.len(), total_records);
 
-        self.pool.shutdown();
+        self.port.finish();
         let mut events = std::mem::replace(&mut self.sink, RecordingSink::unbounded()).into_events();
         events.sort_by_key(|e| e.at);
         let report = ExecReport {
@@ -756,7 +790,7 @@ impl<'a> ExecState<'a> {
             let index = start_index + i;
             let (disk, start) = self.plan.layout.location(run, index);
             let d = disk.0 as usize;
-            let tag = pack_tag(run.0, index);
+            let tag = pack_tenant_tag(self.tenant, run.0, index);
             let span = self.spans[d];
             self.spans[d] += 1;
             self.sink.emit(TraceEvent {
@@ -771,7 +805,7 @@ impl<'a> ExecState<'a> {
             self.per_disk_requests[d] += 1;
             self.request_log[d].push((run.0, index));
             self.head_cyl[d] = self.plan.merge.disk_spec.geometry.cylinder_of(start);
-            self.pool.submit(IoRequest {
+            self.port.submit(IoRequest {
                 req: DiskRequest {
                     disk,
                     start,
@@ -838,14 +872,14 @@ impl<'a> ExecState<'a> {
     /// block arrived.
     fn await_arrival(&mut self) -> Result<RunId, PmError> {
         let waiting = Instant::now();
-        let completion = self.pool.recv().ok_or_else(|| {
+        let completion = self.port.recv().ok_or_else(|| {
             PmError::io(
                 "engine",
                 io::Error::other("I/O workers exited with requests outstanding"),
             )
         })?;
         self.stall += waiting.elapsed();
-        let (run, index) = unpack_tag(completion.tag);
+        let (_, run, index) = unpack_tenant_tag(completion.tag);
         let d = completion.disk as usize;
         let data = completion
             .data

@@ -48,6 +48,7 @@ mod block;
 mod device;
 mod engine;
 mod multipass;
+mod shared;
 mod workers;
 
 pub use block::{block_bytes, decode_records, encode_records, RECORD_BYTES};
@@ -59,3 +60,4 @@ pub use multipass::{
     clean_stale_passes, MultiPassExecutor, MultiPassOptions, MultiPassOutcome,
     PassBackend, PassOutcome,
 };
+pub use shared::{SharedDeviceSet, SharedPort};

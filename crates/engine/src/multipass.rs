@@ -11,14 +11,21 @@
 //!
 //! # Temp-file lifecycle
 //!
-//! With [`PassBackend::File`], pass `p` group `g` stages its inputs
-//! under `<root>/pass-<p>/group-<g>/`. A pass's directory is removed as
-//! soon as the pass completes (its outputs live in memory); a crash
-//! between passes therefore leaves `pass-*` directories behind, and the
-//! next invocation over the same root removes them before loading
-//! anything ([`clean_stale_passes`]). The final output is never staged
-//! under the root, so an interrupted execution leaves no partial output
-//! file.
+//! With [`PassBackend::File`], each execution claims a private staging
+//! directory `<root>/exec-<pid>-<counter>/` (the counter is
+//! process-global, so concurrent executors — threads or processes —
+//! sharing one root never collide), and pass `p` group `g` stages its
+//! inputs under `<token>/pass-<p>/group-<g>/`. A pass's directory is
+//! removed as soon as the pass completes (its outputs live in memory)
+//! and the token directory goes when the execution finishes — on the
+//! error path too, since a gracefully failing invocation is done with
+//! its token and a liveness sweep would rightly spare it for as long as
+//! the process lives. Only a hard process death leaves an `exec-*`
+//! directory behind, and the next invocation over the same root removes
+//! only those whose owning process is no longer alive
+//! ([`clean_stale_passes`]) — never a concurrent invocation's live
+//! staging. The final output is never staged under the root, so an
+//! interrupted execution leaves no partial output file.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -138,8 +145,51 @@ pub struct MultiPassOutcome {
     pub events: Vec<TraceEvent>,
 }
 
-/// Removes stale `pass-*` staging directories left under `root` by an
-/// interrupted multi-pass execution. Returns how many were removed.
+/// Process-global counter distinguishing concurrent executions within
+/// one process; together with the pid it makes every invocation's
+/// staging token unique across a shared root.
+static NEXT_EXEC: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Claims this invocation's staging token under `root`.
+fn exec_token() -> String {
+    format!(
+        "exec-{}-{}",
+        std::process::id(),
+        NEXT_EXEC.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    )
+}
+
+/// Whether the process that owns an `exec-<pid>-*` staging directory is
+/// still alive. Errs on the side of *alive* when liveness cannot be
+/// determined (no `/proc`), so a concurrent executor's staging is never
+/// deleted.
+fn owner_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+/// The pid embedded in an `exec-<pid>-<counter>` staging-directory name,
+/// if the name follows that form.
+fn staged_pid(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix("exec-")?;
+    let (pid, counter) = rest.split_once('-')?;
+    if counter.is_empty() || !counter.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    pid.parse().ok()
+}
+
+/// Removes stale staging directories left under `root` by interrupted
+/// multi-pass executions: `exec-<pid>-*` tokens whose owning process is
+/// gone, plus bare `pass-*` directories from the pre-token layout.
+/// Directories owned by live processes — including concurrent executors
+/// in this process — are left alone. Returns how many were removed.
 ///
 /// # Errors
 ///
@@ -156,7 +206,13 @@ pub fn clean_stale_passes(root: &Path) -> Result<u32, PmError> {
         let entry =
             entry.map_err(|e| PmError::io(format!("scanning {}", root.display()), e))?;
         let name = entry.file_name();
-        if name.to_string_lossy().starts_with("pass-") && entry.path().is_dir() {
+        let name = name.to_string_lossy();
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let stale = name.starts_with("pass-")
+            || staged_pid(&name).is_some_and(|pid| !owner_alive(pid));
+        if stale {
             std::fs::remove_dir_all(entry.path()).map_err(|e| {
                 PmError::io(format!("removing stale {}", entry.path().display()), e)
             })?;
@@ -201,8 +257,10 @@ impl<'p> MultiPassExecutor<'p> {
     /// Like [`MultiPassExecutor::run`], with a fault-injection hook
     /// called after each pass's groups complete but *before* the pass's
     /// staging directory is removed — the crash window a test wants to
-    /// hit. A hook error aborts the execution with that pass's temp
-    /// files still on disk.
+    /// hit. A hook error aborts the execution; like any graceful
+    /// failure, the invocation's staging token is removed on the way
+    /// out (only a hard process death leaves one behind, for a later
+    /// invocation's liveness sweep).
     ///
     /// # Errors
     ///
@@ -221,9 +279,34 @@ impl<'p> MultiPassExecutor<'p> {
                 )));
             }
         }
-        if let PassBackend::File { root } = &self.backend {
-            clean_stale_passes(root)?;
+        // This invocation's private staging root: stale leftovers are
+        // swept first, then every pass stages under a token no
+        // concurrent executor shares.
+        let staging = match &self.backend {
+            PassBackend::File { root } => {
+                clean_stale_passes(root)?;
+                Some(root.join(exec_token()))
+            }
+            _ => None,
+        };
+        let result = self.execute_passes(runs, &mut hook, &staging);
+        if result.is_err() {
+            // This invocation is done with its token; left behind it
+            // would survive every sweep for as long as the process
+            // lives. Cleanup failure is secondary to the real error.
+            if let Some(staging) = &staging {
+                let _ = std::fs::remove_dir_all(staging);
+            }
         }
+        result
+    }
+
+    fn execute_passes(
+        &self,
+        runs: Vec<Vec<Record>>,
+        hook: &mut impl FnMut(u32) -> Result<(), PmError>,
+        staging: &Option<PathBuf>,
+    ) -> Result<MultiPassOutcome, PmError> {
         let mut level = runs;
         let mut passes: Vec<PassOutcome> = Vec::with_capacity(self.plan.passes.len());
         let mut events: Vec<TraceEvent> = Vec::new();
@@ -289,8 +372,10 @@ impl<'p> MultiPassExecutor<'p> {
                         engine.load(&mut dev, &inputs)?;
                         engine.execute(Arc::new(dev))?
                     }
-                    PassBackend::File { root } => {
-                        let dir = root
+                    PassBackend::File { .. } => {
+                        let dir = staging
+                            .as_ref()
+                            .expect("file backend has a staging token")
                             .join(format!("pass-{p:02}"))
                             .join(format!("group-{g:02}"));
                         let mut dev =
@@ -367,8 +452,8 @@ impl<'p> MultiPassExecutor<'p> {
             // The crash window: the pass's outputs exist, its staging
             // directory has not been removed yet.
             hook(p as u32)?;
-            if let PassBackend::File { root } = &self.backend {
-                let dir = root.join(format!("pass-{p:02}"));
+            if let Some(staging) = &staging {
+                let dir = staging.join(format!("pass-{p:02}"));
                 if dir.exists() {
                     std::fs::remove_dir_all(&dir).map_err(|e| {
                         PmError::io(format!("removing {}", dir.display()), e)
@@ -381,6 +466,13 @@ impl<'p> MultiPassExecutor<'p> {
             }));
             tree_offset += wall_as_sim(out.wall);
             passes.push(out);
+        }
+        if let Some(staging) = &staging {
+            if staging.exists() {
+                std::fs::remove_dir_all(staging).map_err(|e| {
+                    PmError::io(format!("removing {}", staging.display()), e)
+                })?;
+            }
         }
         let output = level.into_iter().next().unwrap_or_default();
         Ok(MultiPassOutcome { output, passes, events })
@@ -491,5 +583,106 @@ mod tests {
         );
         let err = exec.run(uniform_runs(2, 40)).unwrap_err();
         assert!(err.to_string().contains("input runs"), "{err}");
+    }
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "pm-multipass-{tag}-{}-{}",
+            std::process::id(),
+            NEXT_EXEC.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ))
+    }
+
+    /// Two executors running concurrently over ONE staging root must not
+    /// delete each other's pass directories — the race the per-invocation
+    /// token exists to prevent (each run here also cleans stale staging
+    /// on entry, which previously swept the sibling's live `pass-*`).
+    #[test]
+    fn concurrent_executors_share_a_staging_root() {
+        let rpb = 20;
+        let root = scratch_root("race");
+        std::fs::create_dir_all(&root).unwrap();
+        let mut expects = Vec::new();
+        let mut outs = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for seed in [11u64, 12, 13] {
+                let root = root.clone();
+                handles.push(s.spawn(move || {
+                    let runs = uniform_runs(8, 100);
+                    let mut expect: Vec<Record> =
+                        runs.iter().flatten().copied().collect();
+                    expect.sort();
+                    let lens: Vec<u32> = runs
+                        .iter()
+                        .map(|r| (r.len() as u32).div_ceil(rpb))
+                        .collect();
+                    let plan =
+                        plan_merge_tree(&lens, 3, PlanPolicy::GreedyMax).unwrap();
+                    let base = ScenarioBuilder::new(3, 2)
+                        .inter(2)
+                        .seed(seed)
+                        .build()
+                        .unwrap();
+                    let opts = MultiPassOptions {
+                        records_per_block: rpb,
+                        ..Default::default()
+                    };
+                    let exec = MultiPassExecutor::new(
+                        &plan,
+                        base,
+                        opts,
+                        PassBackend::File { root },
+                    );
+                    (expect, exec.run(runs).unwrap().output)
+                }));
+            }
+            for h in handles {
+                let (expect, out) = h.join().unwrap();
+                expects.push(expect);
+                outs.push(out);
+            }
+        });
+        for (expect, out) in expects.iter().zip(&outs) {
+            assert_eq!(out, expect, "a concurrent executor lost staged blocks");
+        }
+        // Every invocation removed its own token on completion.
+        let leftover: Vec<_> = std::fs::read_dir(&root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert!(leftover.is_empty(), "staging left behind: {leftover:?}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stale_cleanup_spares_live_owners() {
+        let root = scratch_root("stale");
+        // A legacy pre-token leftover, a dead owner's token, our own
+        // (live) token, and a non-staging bystander.
+        let legacy = root.join("pass-00");
+        let dead = root.join("exec-999999999-0");
+        let live = root.join(format!("exec-{}-12345", std::process::id()));
+        let other = root.join("keep-me");
+        for d in [&legacy, &dead, &live, &other] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        let removed = clean_stale_passes(&root).unwrap();
+        assert_eq!(removed, 2);
+        assert!(!legacy.exists() && !dead.exists());
+        assert!(live.exists(), "live invocation's staging was swept");
+        assert!(other.exists(), "unrelated directory was swept");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn staging_token_names_parse() {
+        assert_eq!(staged_pid("exec-123-0"), Some(123));
+        assert_eq!(staged_pid("exec-123-"), None);
+        assert_eq!(staged_pid("exec-123"), None);
+        assert_eq!(staged_pid("exec-abc-0"), None);
+        assert_eq!(staged_pid("pass-00"), None);
+        let token = exec_token();
+        assert_eq!(staged_pid(&token), Some(std::process::id()));
     }
 }

@@ -39,13 +39,28 @@ pub(crate) struct IoCompletion {
     pub data: io::Result<Vec<u8>>,
 }
 
+/// Where an executing merge sends its reads and receives its blocks.
+///
+/// Two implementations: [`IoPool`] (a dedicated per-run worker pool —
+/// `finish` tears it down) and `shared::SharedPort` (one job's lane into
+/// a [`crate::SharedDeviceSet`] — `finish` leaves the shared workers
+/// running for the other jobs).
+pub(crate) trait IoPort: Send {
+    /// Submits a read; may block on backpressure.
+    fn submit(&mut self, req: IoRequest);
+    /// Blocks for this run's next completion; `None` if service died.
+    fn recv(&mut self) -> Option<IoCompletion>;
+    /// The run is over: release whatever the port holds.
+    fn finish(&mut self);
+}
+
 struct ChannelInner<T> {
     items: VecDeque<T>,
     closed: bool,
 }
 
 /// A minimal Mutex+Condvar MPSC channel with an optional capacity bound.
-struct Channel<T> {
+pub(crate) struct Channel<T> {
     inner: Mutex<ChannelInner<T>>,
     capacity: usize,
     not_empty: Condvar,
@@ -53,7 +68,7 @@ struct Channel<T> {
 }
 
 impl<T> Channel<T> {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         Channel {
             inner: Mutex::new(ChannelInner {
                 items: VecDeque::new(),
@@ -66,7 +81,7 @@ impl<T> Channel<T> {
     }
 
     /// Blocks while the channel is full. Pushes are lost after `close`.
-    fn push(&self, item: T) {
+    pub(crate) fn push(&self, item: T) {
         let mut inner = self.inner.lock().expect("channel poisoned");
         while inner.items.len() >= self.capacity && !inner.closed {
             inner = self.not_full.wait(inner).expect("channel poisoned");
@@ -79,7 +94,7 @@ impl<T> Channel<T> {
     }
 
     /// Blocks until an item is available; `None` once closed and drained.
-    fn pop(&self) -> Option<T> {
+    pub(crate) fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("channel poisoned");
         loop {
             if let Some(item) = inner.items.pop_front() {
@@ -93,7 +108,7 @@ impl<T> Channel<T> {
         }
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         let mut inner = self.inner.lock().expect("channel poisoned");
         inner.closed = true;
         self.not_empty.notify_all();
@@ -163,6 +178,20 @@ impl IoPool {
     }
 }
 
+impl IoPort for IoPool {
+    fn submit(&mut self, req: IoRequest) {
+        IoPool::submit(self, req);
+    }
+
+    fn recv(&mut self) -> Option<IoCompletion> {
+        IoPool::recv(self)
+    }
+
+    fn finish(&mut self) {
+        self.shutdown();
+    }
+}
+
 impl Drop for IoPool {
     fn drop(&mut self) {
         self.shutdown();
@@ -181,51 +210,47 @@ fn worker_loop(
     // anchored to the previous deadline, not to "now", so scheduling
     // jitter does not accumulate across a run.
     let mut free_at = vec![epoch; disks];
-    let block_bytes = device.block_bytes();
-    while let Some(IoRequest { req, span }) = queue.pop() {
-        let injected = device.service_timing(&req);
-        let mut buf = vec![0u8; block_bytes];
-        let (started, finished);
-        if let Some(inj) = &injected {
-            let d = req.disk.0 as usize;
-            let service = scaled(inj.breakdown.total().as_nanos(), time_scale);
-            let start = Instant::now().max(free_at[d]);
-            let deadline = start + service;
-            // Read the payload first (memory/tmpfs reads are orders of
-            // magnitude cheaper than the modeled mechanics), then sleep
-            // out the remainder of the modeled service.
-            let result = read(device, &req, &mut buf);
-            sleep_until(deadline);
-            free_at[d] = deadline;
-            started = start;
-            finished = deadline;
-            push_completion(completions, &req, span, injected, started, finished, epoch, result, buf);
-        } else {
-            started = Instant::now();
-            let result = read(device, &req, &mut buf);
-            finished = Instant::now();
-            push_completion(completions, &req, span, injected, started, finished, epoch, result, buf);
-        }
+    while let Some(io) = queue.pop() {
+        let d = io.req.disk.0 as usize;
+        let completion = service_one(device, &mut free_at[d], io, time_scale, epoch);
+        completions.push(completion);
     }
 }
 
-fn read(device: &Arc<dyn BlockDevice>, req: &DiskRequest, buf: &mut [u8]) -> io::Result<()> {
-    device.read_block(req.disk, req.start, buf)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn push_completion(
-    completions: &Channel<IoCompletion>,
-    req: &DiskRequest,
-    span: u64,
-    injected: Option<InjectedService>,
-    started: Instant,
-    finished: Instant,
+/// Services one request synchronously: real read plus (when the backend
+/// injects latency) the modeled service time slept out against the
+/// disk's anchored deadline. Shared by the per-run worker pool and the
+/// multi-job shared device set, so both faces time requests identically.
+pub(crate) fn service_one(
+    device: &Arc<dyn BlockDevice>,
+    free_at: &mut Instant,
+    io: IoRequest,
+    time_scale: f64,
     epoch: Instant,
-    result: io::Result<()>,
-    buf: Vec<u8>,
-) {
-    completions.push(IoCompletion {
+) -> IoCompletion {
+    let IoRequest { req, span } = io;
+    let injected = device.service_timing(&req);
+    let mut buf = vec![0u8; device.block_bytes()];
+    let (started, finished);
+    let result;
+    if let Some(inj) = &injected {
+        let service = scaled(inj.breakdown.total().as_nanos(), time_scale);
+        let start = Instant::now().max(*free_at);
+        let deadline = start + service;
+        // Read the payload first (memory/tmpfs reads are orders of
+        // magnitude cheaper than the modeled mechanics), then sleep
+        // out the remainder of the modeled service.
+        result = read(device, &req, &mut buf);
+        sleep_until(deadline);
+        *free_at = deadline;
+        started = start;
+        finished = deadline;
+    } else {
+        started = Instant::now();
+        result = read(device, &req, &mut buf);
+        finished = Instant::now();
+    }
+    IoCompletion {
         disk: req.disk.0,
         tag: req.tag,
         span,
@@ -234,7 +259,11 @@ fn push_completion(
         started_ns: since(epoch, started),
         finished_ns: since(epoch, finished),
         data: result.map(|()| buf),
-    });
+    }
+}
+
+fn read(device: &Arc<dyn BlockDevice>, req: &DiskRequest, buf: &mut [u8]) -> io::Result<()> {
+    device.read_block(req.disk, req.start, buf)
 }
 
 fn since(epoch: Instant, at: Instant) -> u64 {

@@ -12,9 +12,8 @@
 //! * [`run_formation`] — sorted-run creation: memory-load sorting (equal
 //!   runs, as the paper's setup assumes) and replacement selection
 //!   (≈ `2M` average run length on random input; Knuth vol. 3 §5.4.1).
-//! * [`pm_core::LoserTree`] (re-exported here, deprecated path) — the
-//!   classic tournament tree used for the `k`-way merge, `O(log k)` per
-//!   record.
+//! * [`pm_core::LoserTree`] — the classic tournament tree used for the
+//!   `k`-way merge, `O(log k)` per record.
 //! * [`multipass`] — multi-pass merge planning (sequential and `F`-ary
 //!   Huffman) with pass-by-pass simulation, for merges whose order exceeds
 //!   the cache-supported fan-in.
@@ -35,11 +34,5 @@ pub mod run_formation;
 mod record;
 mod sorter;
 
-/// The loser tree now lives in `pm-core` so the simulator layer can use
-/// the same tournament discipline; this alias keeps the old path working.
-#[deprecated(
-    note = "LoserTree moved to pm-core; use pm_core::LoserTree instead"
-)]
-pub use pm_core::LoserTree;
 pub use record::Record;
 pub use sorter::{external_sort, ExtSortConfig, RunFormation, SortOutcome};

@@ -217,6 +217,69 @@ fn exec_table(out: &mut String, rows: &[&ManifestRecord]) {
     out.push_str("</table>\n");
 }
 
+/// One table per (sched, cache-policy) combination, in first-appearance
+/// order, each headed by its makespan-fairness summary (max/min tenant
+/// slowdown — the E17 number the policy sweep compares).
+fn tenant_tables(out: &mut String, rows: &[&ManifestRecord]) {
+    out.push_str("<h2>Multi-tenant service — per-tenant contention outcomes</h2>\n");
+    let mut groups: Vec<(String, String)> = Vec::new();
+    for r in rows {
+        let t = r.tenant.as_ref().expect("filtered to tenant records");
+        let key = (t.sched.clone(), t.cache_policy.clone());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    for (sched, cache_policy) in &groups {
+        let members: Vec<&&ManifestRecord> = rows
+            .iter()
+            .filter(|r| {
+                let t = r.tenant.as_ref().expect("filtered to tenant records");
+                &t.sched == sched && &t.cache_policy == cache_policy
+            })
+            .collect();
+        let mut min = f64::INFINITY;
+        let mut max = 0.0_f64;
+        for r in &members {
+            let s = r.tenant.as_ref().expect("filtered").slowdown;
+            min = min.min(s);
+            max = max.max(s);
+        }
+        let fairness = if min > 0.0 && min.is_finite() {
+            format!("{:.3}", max / min)
+        } else {
+            "—".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "<h3>sched <code>{}</code> · cache <code>{}</code> · \
+             fairness (max/min slowdown) {}</h3>",
+            esc(sched),
+            esc(cache_policy),
+            fairness
+        );
+        out.push_str(
+            "<table>\n<tr><th>tenant</th><th>priority</th><th>arrival (s)</th>\
+             <th>cache grant</th><th>isolated (s)</th><th>makespan (s)</th>\
+             <th>queue wait (s)</th><th>slowdown</th></tr>\n",
+        );
+        for r in &members {
+            let t = r.tenant.as_ref().expect("filtered to tenant records");
+            out.push_str("<tr>");
+            let _ = write!(out, "<td>{}</td>", esc(&t.name));
+            num_cell(out, &t.priority.to_string());
+            num_cell(out, &format!("{:.3}", t.arrival_secs));
+            num_cell(out, &t.cache_blocks.to_string());
+            num_cell(out, &format!("{:.3}", t.isolated_secs));
+            num_cell(out, &format!("{:.3}", t.makespan_secs));
+            num_cell(out, &format!("{:.4}", t.queue_wait_secs));
+            num_cell(out, &format!("{:.3}", t.slowdown));
+            out.push_str("</tr>\n");
+        }
+        out.push_str("</table>\n");
+    }
+}
+
 fn convergence_table(out: &mut String, rows: &[&ManifestRecord]) {
     out.push_str(
         "<h2>Convergence diagnostics</h2>\n\
@@ -267,6 +330,7 @@ pub fn render_report(records: &[ManifestRecord]) -> String {
         .iter()
         .filter(|r| r.kind == RecordKind::EngineExec)
         .collect();
+    let tenants: Vec<&ManifestRecord> = records.iter().filter(|r| r.tenant.is_some()).collect();
     let auto: Vec<&ManifestRecord> = records.iter().filter(|r| r.auto.is_some()).collect();
 
     let checked = records.iter().filter(|r| r.analytic.is_some()).count();
@@ -324,6 +388,9 @@ pub fn render_report(records: &[ManifestRecord]) -> String {
     if !execs.is_empty() {
         exec_table(&mut out, &execs);
     }
+    if !tenants.is_empty() {
+        tenant_tables(&mut out, &tenants);
+    }
     if !auto.is_empty() {
         convergence_table(&mut out, &auto);
     }
@@ -346,6 +413,7 @@ mod tests {
             kind,
             label: label.into(),
             pass: None,
+            tenant: None,
             sweep: (kind == RecordKind::SweepPoint).then(|| "curve <A&B>".to_string()),
             x: (kind == RecordKind::SweepPoint).then_some(10.0),
             x_label: (kind == RecordKind::SweepPoint).then(|| "N".to_string()),
@@ -418,6 +486,37 @@ mod tests {
         assert!(html.contains("<td class=\"num\">2</td>"));
         // The whole-run summary row shows "all" instead of a pass index.
         assert!(html.contains("<td class=\"num\">all</td>"));
+    }
+
+    #[test]
+    fn tenant_records_render_grouped_fairness_tables() {
+        use crate::manifest::TenantInfo;
+        let tenant = |name: &str, sched: &str, slowdown: f64| TenantInfo {
+            name: name.into(),
+            priority: 1,
+            arrival_secs: 0.001,
+            cache_blocks: 1500,
+            sched: sched.into(),
+            cache_policy: "static".into(),
+            isolated_secs: 10.0,
+            makespan_secs: 10.0 * slowdown,
+            queue_wait_secs: 0.002,
+            slowdown,
+        };
+        let mut rows = Vec::new();
+        for (sched, slow) in [("fifo", [1.2, 3.0]), ("wfq", [1.5, 1.8])] {
+            for (name, s) in ["a", "b"].iter().zip(slow) {
+                let mut r = record(RecordKind::Contend, &format!("{sched}:{name}"), None);
+                r.tenant = Some(tenant(name, sched, s));
+                rows.push(r);
+            }
+        }
+        let html = render_report(&rows);
+        assert!(html.contains("Multi-tenant service"));
+        assert!(html.contains("sched <code>fifo</code>"));
+        assert!(html.contains("fairness (max/min slowdown) 2.500"));
+        assert!(html.contains("sched <code>wfq</code>"));
+        assert!(html.contains("fairness (max/min slowdown) 1.200"));
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use convergence::{run_trials_converged, ConvergenceDecision, ConvergencePoli
 pub use html::render_report;
 pub use manifest::{
     env_record_line, parse_manifest, render_manifest, DiskRollup, ManifestRecord, PointMetrics,
-    RecordKind, TraceRollup, SCHEMA_VERSION,
+    RecordKind, TenantInfo, TraceRollup, SCHEMA_VERSION,
 };
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
 pub use residual::{closed_form, Bound, ResidualCheck, TolerancePolicy};

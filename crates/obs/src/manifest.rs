@@ -28,8 +28,10 @@ use crate::residual::{Bound, ResidualCheck};
 /// Manifest schema version, bumped on breaking field changes.
 ///
 /// History: v2 added the optional `pass` field (multi-pass `exec`
-/// records). The parser accepts v1 lines — `pass` reads as `None`.
-pub const SCHEMA_VERSION: u32 = 2;
+/// records); v3 added the optional `tenant` field and the `contend`
+/// record kind (multi-tenant service runs). The parser accepts v1/v2
+/// lines — absent fields read as `None`.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest schema version [`ManifestRecord::from_json_line`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -47,6 +49,10 @@ pub enum RecordKind {
     /// simulated; `analytic` holds the sim-vs-engine residual when the
     /// latency backend makes one meaningful.
     EngineExec,
+    /// One tenant of a multi-tenant contention run (`pmerge contend` /
+    /// `pmerge serve`); the `tenant` field carries the service terms and
+    /// contention outcome.
+    Contend,
 }
 
 impl RecordKind {
@@ -58,6 +64,7 @@ impl RecordKind {
             RecordKind::T2Concurrency => "t2",
             RecordKind::SweepPoint => "sweep",
             RecordKind::EngineExec => "exec",
+            RecordKind::Contend => "contend",
         }
     }
 
@@ -67,6 +74,7 @@ impl RecordKind {
             "t2" => Some(RecordKind::T2Concurrency),
             "sweep" => Some(RecordKind::SweepPoint),
             "exec" => Some(RecordKind::EngineExec),
+            "contend" => Some(RecordKind::Contend),
             _ => None,
         }
     }
@@ -111,6 +119,36 @@ pub struct TraceRollup {
     pub disks: Vec<DiskRollup>,
 }
 
+/// One tenant's service terms and contention outcome (schema v3).
+///
+/// Attached to `contend` records (one per tenant) and to per-tenant
+/// `exec` records emitted by `pmerge serve`; `None` on single-job
+/// records and on v1/v2 lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantInfo {
+    /// Tenant display name.
+    pub name: String,
+    /// Scheduling weight the tenant ran with.
+    pub priority: u32,
+    /// Arrival offset, seconds of sim time.
+    pub arrival_secs: f64,
+    /// Cache frames the policy granted.
+    pub cache_blocks: u32,
+    /// I/O scheduling policy label ("fifo" / "wfq" / "priority").
+    pub sched: String,
+    /// Cache partitioning policy label ("static" / "proportional" /
+    /// "free").
+    pub cache_policy: String,
+    /// Makespan of the tenant's demand alone on the shared set, seconds.
+    pub isolated_secs: f64,
+    /// Arrival-to-completion under contention, seconds.
+    pub makespan_secs: f64,
+    /// Mean per-request queue wait under contention, seconds.
+    pub queue_wait_secs: f64,
+    /// `makespan_secs / isolated_secs`.
+    pub slowdown: f64,
+}
+
 /// One experiment point, fully described.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ManifestRecord {
@@ -123,6 +161,9 @@ pub struct ManifestRecord {
     /// Merge-pass index (1-based) for per-pass multi-pass `exec`
     /// records; `None` for single-pass records and whole-run summaries.
     pub pass: Option<u32>,
+    /// Service terms and contention outcome for multi-tenant records;
+    /// `None` for single-job records.
+    pub tenant: Option<TenantInfo>,
     /// Sweep (curve) name for sweep points.
     pub sweep: Option<String>,
     /// Independent-variable value for sweep points.
@@ -268,11 +309,26 @@ impl ManifestRecord {
                 ),
             )])
         });
+        let tenant = self.tenant.as_ref().map_or(Value::Null, |t| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(t.name.clone())),
+                ("priority".into(), num(f64::from(t.priority))),
+                ("arrival_secs".into(), num(t.arrival_secs)),
+                ("cache_blocks".into(), num(f64::from(t.cache_blocks))),
+                ("sched".into(), Value::Str(t.sched.clone())),
+                ("cache_policy".into(), Value::Str(t.cache_policy.clone())),
+                ("isolated_secs".into(), num(t.isolated_secs)),
+                ("makespan_secs".into(), num(t.makespan_secs)),
+                ("queue_wait_secs".into(), num(t.queue_wait_secs)),
+                ("slowdown".into(), num(t.slowdown)),
+            ])
+        });
         Value::Obj(vec![
             ("schema".into(), num(f64::from(self.schema))),
             ("kind".into(), Value::Str(self.kind.as_str().to_string())),
             ("label".into(), Value::Str(self.label.clone())),
             ("pass".into(), opt_num(self.pass.map(f64::from))),
+            ("tenant".into(), tenant),
             ("sweep".into(), opt_str(&self.sweep)),
             ("x".into(), opt_num(self.x)),
             ("x_label".into(), opt_str(&self.x_label)),
@@ -311,6 +367,22 @@ impl ManifestRecord {
                     .ok_or("field 'pass' is not an unsigned integer")?
                     as u32,
             ),
+        };
+        // v1/v2 lines have no `tenant` field; absent and null read as None.
+        let tenant = match v.get("tenant") {
+            None | Some(Value::Null) => None,
+            Some(t) => Some(TenantInfo {
+                name: get_str(t, "name")?,
+                priority: get_u64(t, "priority")? as u32,
+                arrival_secs: get_f64(t, "arrival_secs")?,
+                cache_blocks: get_u64(t, "cache_blocks")? as u32,
+                sched: get_str(t, "sched")?,
+                cache_policy: get_str(t, "cache_policy")?,
+                isolated_secs: get_f64(t, "isolated_secs")?,
+                makespan_secs: get_f64(t, "makespan_secs")?,
+                queue_wait_secs: get_f64(t, "queue_wait_secs")?,
+                slowdown: get_f64(t, "slowdown")?,
+            }),
         };
         let kind_str = get_str(&v, "kind")?;
         let kind = RecordKind::from_str(&kind_str)
@@ -375,6 +447,7 @@ impl ManifestRecord {
             kind,
             label: get_str(&v, "label")?,
             pass,
+            tenant,
             sweep: get_opt_str(&v, "sweep")?,
             x: get_opt_f64(&v, "x")?,
             x_label: get_opt_str(&v, "x_label")?,
@@ -540,6 +613,7 @@ mod tests {
             kind,
             label: "eq5: inter sync, k=25, D=5, N=10".into(),
             pass: None,
+            tenant: None,
             sweep: match kind {
                 RecordKind::SweepPoint => Some("All Disks One Run (25 runs, 5 disks)".into()),
                 _ => None,
@@ -664,6 +738,40 @@ mod tests {
         let line = r.to_json_line();
         assert!(line.contains("\"pass\":2"));
         assert_eq!(ManifestRecord::from_json_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn tenant_field_round_trips_on_contend_records() {
+        let mut r = sample(RecordKind::Contend);
+        r.tenant = Some(TenantInfo {
+            name: "big".into(),
+            priority: 3,
+            arrival_secs: 0.002,
+            cache_blocks: 1500,
+            sched: "wfq".into(),
+            cache_policy: "proportional".into(),
+            isolated_secs: 9.5,
+            makespan_secs: 17.3,
+            queue_wait_secs: 0.004,
+            slowdown: 1.8210526315789475,
+        });
+        let line = r.to_json_line();
+        assert!(line.contains("\"kind\":\"contend\""));
+        assert!(line.contains("\"sched\":\"wfq\""));
+        assert_eq!(ManifestRecord::from_json_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn v2_lines_without_tenant_still_parse() {
+        let mut r = sample(RecordKind::EngineExec);
+        r.schema = 2;
+        r.pass = Some(1);
+        let line = r.to_json_line().replace("\"tenant\":null,", "");
+        assert!(!line.contains("\"tenant\""));
+        let back = ManifestRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.schema, 2);
+        assert_eq!(back.tenant, None);
+        assert_eq!(back.pass, Some(1));
     }
 
     #[test]

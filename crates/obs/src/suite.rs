@@ -220,9 +220,10 @@ fn residual_for(
             }
             Some(check(&pred, summary.mean_total_secs, policy))
         }
-        // Engine runs attach their residual at execution time (the
-        // sim-vs-engine cross-check), not from a closed form here.
-        RecordKind::EngineExec => None,
+        // Engine and contention runs attach their residual at execution
+        // time (the sim-vs-engine cross-check), not from a closed form
+        // here — the paper's equations model one merge owning the disks.
+        RecordKind::EngineExec | RecordKind::Contend => None,
     }
 }
 
@@ -285,6 +286,7 @@ pub fn run_point(
         kind: spec.kind,
         label: spec.label.clone(),
         pass: None,
+        tenant: None,
         sweep: spec.sweep.clone(),
         x: spec.x,
         x_label: spec.x_label.clone(),

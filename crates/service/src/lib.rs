@@ -1,0 +1,33 @@
+//! Multi-tenant merge scheduling for the prefetchmerge reproduction.
+//!
+//! The paper gives one merge the whole machine; a service shares it. This
+//! crate is the scheduling subsystem with two faces over one policy core:
+//!
+//! * [`policy`] — the core: [`CachePolicy`] divides the global cache
+//!   budget at admission (static partition / proportional share /
+//!   free-for-all) and [`IoSched`] picks the next request each time a
+//!   shared disk frees (FIFO / weighted fair queueing / strict
+//!   priority).
+//! * [`tenant`] — the simulation face: [`TenantSim`] profiles every
+//!   tenant's scenario through the full single-job simulator, then
+//!   replays the combined demand over the shared disk set under the
+//!   chosen policies, reporting per-tenant makespan, queue wait and
+//!   slowdown-vs-isolated.
+//!
+//! The execution face lives in `pm_engine::SharedDeviceSet`, which
+//! multiplexes real `MergeEngine` jobs through the *same* [`IoSched`]
+//! objects — what the simulator sweeps is what the engine runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod tenant;
+
+pub use policy::{
+    cache_policy_by_name, sched_by_name, CacheDemand, CachePolicy, Fifo, FreeForAll, IoSched,
+    PendingIo, ProportionalShare, StaticPartition, StrictPriority, Wfq,
+};
+pub use tenant::{
+    ContentionReport, SharedSpec, TenantJob, TenantOutcome, TenantSim, TenantSimOptions,
+};

@@ -164,4 +164,80 @@ proptest! {
         let dur = SimDuration::from_nanos(d);
         prop_assert_eq!((time + dur) - time, dur);
     }
+
+    /// Crossing the 64-slot linear→tournament migration boundary with
+    /// events pending — upward (a schedule triggers the migration) and
+    /// back down (pops drain the migrated store below the threshold,
+    /// interleaved with more schedules) — preserves the exact
+    /// `(time, insertion order)` pop sequence of a naive min-scan.
+    #[test]
+    fn migration_boundary_preserves_pop_order(
+        first_pushes in 70usize..120,
+        phases in prop::collection::vec((0u64..500, 0usize..90, 1usize..90), 2..6)
+    ) {
+        // Occupancy bound that flips the store (events.rs
+        // LINEAR_MAX_SLOTS), pinned by capacity probes below.
+        const BOUNDARY: usize = 64;
+        let small: EventQueue<usize> = EventQueue::with_capacity(BOUNDARY);
+        prop_assert!(!small.is_tournament());
+        let large: EventQueue<usize> = EventQueue::with_capacity(BOUNDARY + 1);
+        prop_assert!(large.is_tournament());
+
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        let mut push = |q: &mut EventQueue<usize>,
+                        reference: &mut Vec<(u64, usize)>,
+                        t: u64| {
+            q.schedule(SimTime::from_nanos(t), next_id);
+            reference.push((t, next_id));
+            next_id += 1;
+        };
+        let pop_and_check = |q: &mut EventQueue<usize>,
+                             reference: &mut Vec<(u64, usize)>|
+         -> Result<(), TestCaseError> {
+            let expect = reference
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(t, id))| (t, id))
+                .map(|(i, &(t, id))| (i, t, id));
+            match expect {
+                None => prop_assert!(q.pop().is_none()),
+                Some((i, t, id)) => {
+                    reference.remove(i);
+                    prop_assert_eq!(q.pop(), Some((SimTime::from_nanos(t), id)));
+                }
+            }
+            Ok(())
+        };
+
+        // Upward crossing: the first phase pushes straight through the
+        // boundary, migrating linear → tournament with a full store.
+        for j in 0..first_pushes {
+            push(&mut q, &mut reference, (j as u64 * 13) % 251);
+        }
+        prop_assert!(q.is_tournament(), "must have crossed the boundary up");
+
+        for &(base, pushes, pops) in &phases {
+            for j in 0..pushes {
+                push(&mut q, &mut reference, base + (j as u64 * 7) % 97);
+            }
+            for _ in 0..pops {
+                pop_and_check(&mut q, &mut reference)?;
+            }
+        }
+        // Downward crossing: drain the migrated store below the
+        // threshold, then keep scheduling and verify order still holds.
+        while q.len() >= BOUNDARY {
+            pop_and_check(&mut q, &mut reference)?;
+        }
+        for j in 0..8 {
+            push(&mut q, &mut reference, 1000 + j);
+        }
+        while !q.is_empty() {
+            pop_and_check(&mut q, &mut reference)?;
+        }
+        prop_assert!(reference.is_empty());
+        prop_assert!(q.pop().is_none());
+    }
 }

@@ -61,6 +61,26 @@ pub const fn unpack_tag(tag: u64) -> (u32, u32) {
     ((tag >> 32) as u32, tag as u32)
 }
 
+/// Run ids a tenant-tagged request can carry: [`pack_tenant_tag`] steals
+/// the top 16 bits of [`pack_tag`]'s run field for the tenant id.
+pub const TENANT_TAG_MAX_RUN: u32 = (1 << 16) - 1;
+
+/// Packs a tenant id on top of the [`pack_tag`] convention
+/// (`tenant << 48 | run << 32 | block`). Multi-tenant runs cap the run id
+/// at [`TENANT_TAG_MAX_RUN`] — far above any feasible fan-in — so a
+/// tenant-tagged stream still unpacks run/block via [`unpack_tag`], and
+/// tenant 0's tags are bit-identical to untagged single-job tags.
+#[must_use]
+pub const fn pack_tenant_tag(tenant: u16, run: u32, block: u32) -> u64 {
+    ((tenant as u64) << 48) | (((run & TENANT_TAG_MAX_RUN) as u64) << 32) | block as u64
+}
+
+/// Reverses [`pack_tenant_tag`]: returns `(tenant, run, block)`.
+#[must_use]
+pub const fn unpack_tenant_tag(tag: u64) -> (u16, u32, u32) {
+    ((tag >> 48) as u16, ((tag >> 32) as u32) & TENANT_TAG_MAX_RUN, tag as u32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +90,19 @@ mod tests {
         assert_eq!(unpack_tag(pack_tag(0, 0)), (0, 0));
         assert_eq!(unpack_tag(pack_tag(7, 1234)), (7, 1234));
         assert_eq!(unpack_tag(pack_tag(u32::MAX, u32::MAX)), (u32::MAX, u32::MAX));
+    }
+
+    #[test]
+    fn tenant_tag_round_trips_and_nests_in_pack_tag() {
+        assert_eq!(unpack_tenant_tag(pack_tenant_tag(0, 7, 9)), (0, 7, 9));
+        assert_eq!(
+            unpack_tenant_tag(pack_tenant_tag(u16::MAX, TENANT_TAG_MAX_RUN, u32::MAX)),
+            (u16::MAX, TENANT_TAG_MAX_RUN, u32::MAX)
+        );
+        // Tenant 0 is the untagged single-job convention, bit for bit.
+        assert_eq!(pack_tenant_tag(0, 7, 1234), pack_tag(7, 1234));
+        // Run/block stay readable through the tenant-blind unpacker.
+        let (run, block) = unpack_tag(pack_tenant_tag(3, 7, 1234));
+        assert_eq!((run & TENANT_TAG_MAX_RUN, block), (7, 1234));
     }
 }

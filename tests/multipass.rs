@@ -11,9 +11,11 @@
 //! 3. On the latency backend, each pass's modeled busy time lands on
 //!    the simulator's per-pass prediction within the engine tolerance.
 //!
-//! Plus the crash-safety contract: an execution interrupted between
-//! passes leaves its staging directory behind, and the next invocation
-//! over the same root cleans it up before producing a correct output.
+//! Plus the crash-safety contract: a gracefully failing execution
+//! removes its own staging token, only a hard process death leaves one
+//! behind, and the next invocation over the same root sweeps dead
+//! owners' tokens (never a live sibling's) before producing a correct
+//! output.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -188,7 +190,7 @@ fn latency_backend_per_pass_busy_matches_prediction() {
 }
 
 #[test]
-fn interrupted_execution_leaves_stage_and_next_invocation_cleans_it() {
+fn interrupted_execution_cleans_up_and_stale_tokens_are_swept() {
     let runs = form_runs(3000, 188, 47);
     assert_eq!(runs.len(), 16);
     let expect = reference(&runs);
@@ -196,8 +198,10 @@ fn interrupted_execution_leaves_stage_and_next_invocation_cleans_it() {
     let plan = plan_merge_tree(&run_blocks(&runs), 4, PlanPolicy::GreedyMax).unwrap();
     let root = unique_dir();
 
-    // Crash in the window after pass 0 completes but before its staging
-    // directory is removed.
+    // Graceful failure in the window after pass 0 completes but before
+    // its staging directory is removed: the error propagates and the
+    // invocation removes its own staging token on the way out (a live
+    // process's token would otherwise survive every liveness sweep).
     let exec = MultiPassExecutor::new(
         &plan,
         base,
@@ -217,20 +221,20 @@ fn interrupted_execution_leaves_stage_and_next_invocation_cleans_it() {
         })
         .unwrap_err();
     assert!(err.to_string().contains("injected crash"), "{err}");
-    // The interrupted pass's temp files are still there; no final output
-    // was staged under the root.
-    assert!(root.join("pass-00").is_dir(), "crash should leave pass-00");
-    let top_level: Vec<String> = std::fs::read_dir(&root)
-        .unwrap()
-        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
-        .collect();
-    assert!(
-        top_level.iter().all(|n| n.starts_with("pass-")),
-        "only staging dirs expected, found {top_level:?}"
-    );
+    // No partial output and no leftover staging under the root.
+    let leftover = std::fs::read_dir(&root).map(|it| it.count()).unwrap_or(0);
+    assert_eq!(leftover, 0, "graceful failure left staging behind");
 
-    // The next invocation over the same root cleans the stale staging
-    // and completes correctly.
+    // A hard crash can't run the error path: simulate its residue — a
+    // dead owner's token (pid far beyond pid_max) with pass/group
+    // litter, plus a legacy bare pass directory from an old layout.
+    let dead = root.join("exec-999999999-3").join("pass-00").join("group-00");
+    std::fs::create_dir_all(&dead).unwrap();
+    std::fs::write(dead.join("disk-00.bin"), b"stale").unwrap();
+    std::fs::create_dir_all(root.join("pass-07")).unwrap();
+
+    // The next invocation over the same root sweeps both stale dirs and
+    // completes correctly, leaving the root empty.
     let out = exec.run(runs.clone()).unwrap();
     assert_eq!(out.output, expect);
     let leftover = std::fs::read_dir(&root).map(|it| it.count()).unwrap_or(0);
