@@ -14,7 +14,7 @@
 //!
 //! * `--out <path>` — where to write the JSON (default `BENCH_core.json`).
 //! * `--snapshot <path>` — additionally write the same JSON as a per-PR
-//!   snapshot (default `BENCH_PR8.json`; CI uploads it as an artifact).
+//!   snapshot (default `BENCH_PR9.json`; CI uploads it as an artifact).
 //! * `--repeats <n>` — timed repetitions per scenario (default 5).
 //! * `--quick` — 2 repeats; for CI smoke runs.
 //! * `--baseline <path>` — compare against a previously emitted JSON and
@@ -24,7 +24,9 @@
 //! * `--check-alloc` — exit non-zero unless the steady-state demand path
 //!   performs zero heap allocations per merged block — bare, under the
 //!   full observability pipeline (progress sink + manifest rendering),
-//!   and per replayed request in the tenant-scheduling layer.
+//!   per replayed request in the tenant-scheduling layer, and with live
+//!   `StackMetrics` recording enabled on both the simulator core and the
+//!   scheduling layer.
 //! * `--check-trace` — exit non-zero unless a run recorded with a
 //!   `RecordingSink` reports bit-identically to the default (`NullSink`)
 //!   build of the same configuration — tracing must be observation-only.
@@ -40,7 +42,11 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use pm_core::{MergeConfig, MergeSim, RecordingSink, ScenarioBuilder, SyncMode, UniformDepletion};
+use pm_core::{
+    run_trial_range_metered, MergeConfig, MergeSim, RecordingSink, ScenarioBuilder, SyncMode,
+    UniformDepletion,
+};
+use pm_metrics::StackMetrics;
 use pm_obs::{
     render_manifest, run_suite, PointSpec, ProgressSink, RecordKind, SuiteOptions, TrialsMode,
 };
@@ -343,6 +349,76 @@ fn contend_alloc_probe() -> AllocProbe {
     }
 }
 
+/// Metered simulator-core allocation probe: the same two-length
+/// differencing as [`alloc_probe`], but through
+/// [`run_trial_range_metered`] with a live [`StackMetrics`] sink.
+/// Recording is pre-bound atomics; the only allocating site
+/// (`trial_done`'s label lookup materializing the strategy cell) fires
+/// once per family at warm-up and the per-trial lookups after it are
+/// scan-only, so the per-block difference must still be zero with
+/// metrics *enabled*.
+fn metered_alloc_probe() -> AllocProbe {
+    let metrics = StackMetrics::new(8, &[]);
+    let run_counted = |run_blocks: u32| -> (u64, u64) {
+        let mut cfg = ScenarioBuilder::new(25, 8).inter(10).cache_blocks(1200).build().unwrap();
+        cfg.run_blocks = run_blocks;
+        let (a0, _) = alloc_snapshot();
+        let reports = run_trial_range_metered(&cfg, 0, 1, 1, &metrics, &|_, _| {})
+            .expect("valid metered probe config");
+        let (a1, _) = alloc_snapshot();
+        (reports[0].blocks_merged, a1 - a0)
+    };
+    // Warm-up also materializes the per-strategy metric cells.
+    let _ = run_counted(100);
+    let (base_blocks, base_allocs) = run_counted(400);
+    let (scaled_blocks, scaled_allocs) = run_counted(1600);
+    let extra_blocks = scaled_blocks - base_blocks;
+    AllocProbe {
+        base_blocks,
+        base_allocs,
+        scaled_blocks,
+        scaled_allocs,
+        per_block_allocs: (scaled_allocs as f64 - base_allocs as f64) / extra_blocks as f64,
+    }
+}
+
+/// Metered scheduling-layer allocation probe: [`contend_alloc_probe`]
+/// with a live [`StackMetrics`] sink through [`TenantSim::run_metered`].
+/// Every replayed request records disk I/O, tenant wait, WFQ lag, and a
+/// queue-depth sample — all on pre-bound handles, so the per-request
+/// difference must stay zero with metrics *enabled*.
+fn contend_metered_alloc_probe() -> AllocProbe {
+    let tenant_names: Vec<String> =
+        contend_jobs(60).iter().map(|j| j.name.clone()).collect();
+    let metrics = StackMetrics::new(8, &tenant_names);
+    let mut sim = TenantSim::new(CONTEND_SHARED);
+    let mut wfq = Wfq::new();
+    let opts = TenantSimOptions { jobs: 1 };
+    let mut run_counted = |run_blocks: u32| -> (u64, u64) {
+        let jobs = contend_jobs(run_blocks);
+        let (a0, _) = alloc_snapshot();
+        let report = sim
+            .run_metered(&jobs, &StaticPartition, &mut wfq, 1992, &opts, &metrics)
+            .expect("valid metered contend probe config");
+        let (a1, _) = alloc_snapshot();
+        let requests: u64 = report.tenants.iter().map(|t| t.requests).sum();
+        (requests, a1 - a0)
+    };
+    // Warm at the scaled length (see contend_alloc_probe) so the lazily
+    // ramping cache structures and metric cells are all in steady state.
+    let _ = run_counted(6400);
+    let (base_blocks, base_allocs) = run_counted(1600);
+    let (scaled_blocks, scaled_allocs) = run_counted(6400);
+    let extra_blocks = scaled_blocks - base_blocks;
+    AllocProbe {
+        base_blocks,
+        base_allocs,
+        scaled_blocks,
+        scaled_allocs,
+        per_block_allocs: (scaled_allocs as f64 - base_allocs as f64) / extra_blocks as f64,
+    }
+}
+
 /// A progress sink that formats a status string on every event, standing
 /// in for a live renderer. Its cost is per *trial*, never per block, so
 /// it must cancel out of the per-block allocation difference.
@@ -431,6 +507,8 @@ fn render_json(
     probe: &AllocProbe,
     contend_probe: &AllocProbe,
     obs_probe: &AllocProbe,
+    metered_probe: &AllocProbe,
+    contend_metered_probe: &AllocProbe,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"pm-bench/perf-smoke/v1\",\n  \"scenarios\": [\n");
@@ -473,15 +551,35 @@ fn render_json(
         contend_probe.scaled_allocs,
         contend_probe.per_block_allocs
     );
-    let _ = write!(
+    let _ = writeln!(
         out,
         "  \"obs_alloc_probe\": {{\"base_blocks\": {}, \"base_allocs\": {}, \
-         \"scaled_blocks\": {}, \"scaled_allocs\": {}, \"per_block_allocs\": {:.4}}}\n}}\n",
+         \"scaled_blocks\": {}, \"scaled_allocs\": {}, \"per_block_allocs\": {:.4}}},",
         obs_probe.base_blocks,
         obs_probe.base_allocs,
         obs_probe.scaled_blocks,
         obs_probe.scaled_allocs,
         obs_probe.per_block_allocs
+    );
+    let _ = writeln!(
+        out,
+        "  \"metered_alloc_probe\": {{\"base_blocks\": {}, \"base_allocs\": {}, \
+         \"scaled_blocks\": {}, \"scaled_allocs\": {}, \"per_block_allocs\": {:.4}}},",
+        metered_probe.base_blocks,
+        metered_probe.base_allocs,
+        metered_probe.scaled_blocks,
+        metered_probe.scaled_allocs,
+        metered_probe.per_block_allocs
+    );
+    let _ = write!(
+        out,
+        "  \"contend_metered_alloc_probe\": {{\"base_blocks\": {}, \"base_allocs\": {}, \
+         \"scaled_blocks\": {}, \"scaled_allocs\": {}, \"per_block_allocs\": {:.4}}}\n}}\n",
+        contend_metered_probe.base_blocks,
+        contend_metered_probe.base_allocs,
+        contend_metered_probe.scaled_blocks,
+        contend_metered_probe.scaled_allocs,
+        contend_metered_probe.per_block_allocs
     );
     out
 }
@@ -517,7 +615,7 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_core.json");
-    let mut snapshot_path = String::from("BENCH_PR8.json");
+    let mut snapshot_path = String::from("BENCH_PR9.json");
     let mut repeats = 5u32;
     let mut baseline: Option<String> = None;
     let mut max_regress_pct = 30.0f64;
@@ -598,7 +696,35 @@ fn main() -> ExitCode {
         obs_probe.per_block_allocs
     );
 
-    let json = render_json(&results, &probe, &contend_probe, &obs_probe);
+    let metered_probe = metered_alloc_probe();
+    println!(
+        "metered alloc probe (sim core, metrics on): {} blocks -> {} allocs, \
+         {} blocks -> {} allocs ({:.4} allocs/block)",
+        metered_probe.base_blocks,
+        metered_probe.base_allocs,
+        metered_probe.scaled_blocks,
+        metered_probe.scaled_allocs,
+        metered_probe.per_block_allocs
+    );
+    let contend_metered_probe = contend_metered_alloc_probe();
+    println!(
+        "metered contend alloc probe (scheduling, metrics on): {} reqs -> {} allocs, \
+         {} reqs -> {} allocs ({:.4} allocs/req)",
+        contend_metered_probe.base_blocks,
+        contend_metered_probe.base_allocs,
+        contend_metered_probe.scaled_blocks,
+        contend_metered_probe.scaled_allocs,
+        contend_metered_probe.per_block_allocs
+    );
+
+    let json = render_json(
+        &results,
+        &probe,
+        &contend_probe,
+        &obs_probe,
+        &metered_probe,
+        &contend_metered_probe,
+    );
     fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");
     fs::write(&snapshot_path, &json).expect("write snapshot JSON");
@@ -625,6 +751,22 @@ fn main() -> ExitCode {
             "FAIL: observability layer adds per-block allocations \
              ({:.4} allocs per merged block with progress + manifest on)",
             obs_probe.per_block_allocs
+        );
+        failed = true;
+    }
+    if check_alloc && metered_probe.per_block_allocs > 0.0 {
+        eprintln!(
+            "FAIL: metrics-enabled sim core allocates in steady state \
+             ({:.4} allocs per merged block)",
+            metered_probe.per_block_allocs
+        );
+        failed = true;
+    }
+    if check_alloc && contend_metered_probe.per_block_allocs > 0.0 {
+        eprintln!(
+            "FAIL: metrics-enabled scheduling layer allocates in steady state \
+             ({:.4} allocs per replayed request)",
+            contend_metered_probe.per_block_allocs
         );
         failed = true;
     }

@@ -21,11 +21,12 @@ use std::sync::Arc;
 
 use pm_core::{ConfigError, PmError, PrefetchStrategy, ScenarioBuilder, SyncMode};
 use pm_engine::{
-    disk_seed_for, ExecConfig, ExecOutcome, FileDevice, LatencyDevice, MemoryDevice, MergeEngine,
-    MultiPassExecutor, MultiPassOptions, MultiPassOutcome, PassBackend, RECORD_BYTES,
+    disk_seed_for, BlockDevice, ExecConfig, ExecOutcome, FileDevice, LatencyDevice, MemoryDevice,
+    MergeEngine, MultiPassExecutor, MultiPassOptions, MultiPassOutcome, PassBackend, RECORD_BYTES,
 };
 use pm_extsort::plan::{min_passes, plan_merge_tree, PlanPolicy};
 use pm_extsort::{generate, run_formation, Record};
+use pm_metrics::StackMetrics;
 use pm_obs::{
     Bound, DiskRollup, ManifestRecord, PointMetrics, RecordKind, ResidualCheck, TraceRollup,
     SCHEMA_VERSION,
@@ -35,6 +36,7 @@ use pm_trace::{export, TraceMetrics};
 use pm_workload::spec::ScenarioSpec;
 
 use crate::args::Args;
+use crate::metrics::MetricsArgs;
 
 /// Flags `exec` accepts (see the usage text for semantics).
 const EXEC_KEYS: &[&str] = &[
@@ -48,7 +50,21 @@ const EXEC_KEYS: &[&str] = &[
     "fan-in", "passes", "plan-policy",
     // Outputs and checks.
     "out", "trace-out", "trace-format", "manifest-out", "tol-exec",
+    "metrics-out", "metrics-interval",
 ];
+
+/// Runs the engine through the metered entry point when `--metrics-out`
+/// asked for a sink, the plain one otherwise.
+fn execute_with(
+    engine: &MergeEngine,
+    device: Arc<dyn BlockDevice>,
+    metrics: Option<&StackMetrics>,
+) -> Result<ExecOutcome, PmError> {
+    match metrics {
+        Some(m) => engine.execute_metered(device, m),
+        None => engine.execute(device),
+    }
+}
 
 /// Which device backs the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,11 +153,19 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
 
     // Phase 3: execute against the chosen device.
     let disks = cfg.disks as usize;
+    let metrics_args = MetricsArgs::from_args(args)?;
+    let metrics = metrics_args
+        .as_ref()
+        .map(|_| Arc::new(StackMetrics::new(disks, &[])));
+    let live = metrics_args
+        .as_ref()
+        .zip(metrics.as_ref())
+        .map(|(ma, m)| ma.live(m));
     let outcome = match backend {
         Backend::Memory => {
             let mut dev = MemoryDevice::new(disks, engine.block_bytes());
             engine.load(&mut dev, &runs)?;
-            engine.execute(Arc::new(dev))?
+            execute_with(&engine, Arc::new(dev), metrics.as_deref())?
         }
         Backend::File => {
             let dir = match args.get("dir") {
@@ -151,7 +175,7 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
             let mut dev = FileDevice::create(&dir, disks, engine.block_bytes())
                 .map_err(|e| PmError::io(format!("cannot create '{}'", dir.display()), e))?;
             engine.load(&mut dev, &runs)?;
-            let outcome = engine.execute(Arc::new(dev))?;
+            let outcome = execute_with(&engine, Arc::new(dev), metrics.as_deref())?;
             println!("device files under {}", dir.display());
             if args.get("dir").is_none() {
                 let _ = std::fs::remove_dir_all(&dir);
@@ -168,9 +192,12 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
                 cfg.discipline,
                 disk_seed_for(&cfg),
             );
-            engine.execute(Arc::new(dev))?
+            execute_with(&engine, Arc::new(dev), metrics.as_deref())?
         }
     };
+    if let Some(live) = live {
+        live.finish();
+    }
 
     // Phase 4: verify against the in-memory reference.
     verify_output(&outcome.output, &input)?;
@@ -244,6 +271,9 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
         std::fs::write(path, line)
             .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
         println!("wrote {path}");
+    }
+    if let (Some(ma), Some(m)) = (&metrics_args, &metrics) {
+        ma.write(m)?;
     }
 
     match residual {
@@ -360,7 +390,22 @@ fn exec_multipass(
         println!("staging under {}", root.display());
     }
 
-    let out = MultiPassExecutor::new(&plan, base, opts, pass_backend).run(runs)?;
+    let metrics_args = MetricsArgs::from_args(args)?;
+    let metrics = metrics_args
+        .as_ref()
+        .map(|_| Arc::new(StackMetrics::new(base.disks as usize, &[])));
+    let live = metrics_args
+        .as_ref()
+        .zip(metrics.as_ref())
+        .map(|(ma, m)| ma.live(m));
+    let executor = MultiPassExecutor::new(&plan, base, opts, pass_backend);
+    let out = match &metrics {
+        Some(m) => executor.run_metered(runs, &**m)?,
+        None => executor.run(runs)?,
+    };
+    if let Some(live) = live {
+        live.finish();
+    }
     if let Some(dir) = temp_dir {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -424,6 +469,9 @@ fn exec_multipass(
         std::fs::write(path, lines)
             .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
         println!("wrote {path}");
+    }
+    if let (Some(ma), Some(m)) = (&metrics_args, &metrics) {
+        ma.write(m)?;
     }
 
     let failed: Vec<&ResidualCheck> = residuals

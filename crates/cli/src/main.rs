@@ -11,6 +11,7 @@ mod args;
 mod batch;
 mod commands;
 mod exec;
+mod metrics;
 mod plan;
 mod service;
 
@@ -132,6 +133,10 @@ formation, so --runs/--blocks/--trials do not apply):
                         multi-pass
     --tol-exec <f>      latency backend: two-sided tolerance on modeled
                         read time vs the simulator       [default: 0.02]
+    --metrics-out <p>   write a metrics export on exit: Prometheus text
+                        exposition, or the JSON layer when <p> ends .json
+    --metrics-interval <ms>  with --metrics-out: also write numbered
+                        snapshot files every <ms> milliseconds
     --fan-in <F>        merge at most F runs per group; plans and runs a
                         multi-pass merge tree when k exceeds F
     --passes <P>        instead of --fan-in: use the smallest fan-in that
@@ -157,6 +162,9 @@ CONTEND OPTIONS:
     --seed <s>          master seed                      [default: 1992]
     --csv <path>        write the per-tenant sweep as CSV
     --manifest-out <p>  write JSONL manifest (kind \"contend\")
+    --metrics-out <p>   write a metrics export (per-disk, per-tenant, and
+                        per-strategy families; format as for exec)
+    --metrics-interval <ms>  periodic snapshot cadence (as for exec)
 
 SERVE OPTIONS:
     --scenario-file <p> tenant roster JSON as for contend; per-tenant
@@ -168,6 +176,10 @@ SERVE OPTIONS:
     --seed <s>          master seed                      [default: 1992]
     --manifest-out <p>  write JSONL manifest: one per-tenant \"exec\"
                         record tagged with its service terms
+    --metrics-out <p>   write a metrics export covering the shared run
+                        (per-disk and per-tenant families; format as for
+                        exec)
+    --metrics-interval <ms>  periodic snapshot cadence (as for exec)
 
 PLAN OPTIONS (scenario flags as above; no merge is executed):
     --runs <k>          plan k uniform runs              [default: 25]

@@ -40,6 +40,7 @@ use std::sync::Arc;
 
 use pm_core::{MergeConfig, PmError, ScenarioBuilder};
 use pm_engine::{ExecConfig, ExecOutcome, MemoryDevice, MergeEngine, SharedDeviceSet};
+use pm_metrics::{MetricsSink, StackMetrics};
 use pm_extsort::{generate, run_formation};
 use pm_obs::json::Value;
 use pm_obs::{ManifestRecord, PointMetrics, RecordKind, TenantInfo, SCHEMA_VERSION};
@@ -53,14 +54,29 @@ use pm_trace::EventKind;
 use pm_workload::spec::ScenarioSpec;
 
 use crate::args::Args;
+use crate::metrics::MetricsArgs;
+
+/// One [`StackMetrics`] bundle sized for the shared hardware and the
+/// tenant roster, when `--metrics-out` asked for one.
+fn stack_metrics_for(
+    metrics_args: &Option<MetricsArgs>,
+    disks: u32,
+    jobs: &[TenantJob],
+) -> Option<Arc<StackMetrics>> {
+    metrics_args.as_ref().map(|_| {
+        let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
+        Arc::new(StackMetrics::new(disks as usize, &names))
+    })
+}
 
 const CONTEND_KEYS: &[&str] = &[
     "scenario-file", "tenants", "disks", "cache", "sched", "cache-policy", "jobs", "seed",
-    "csv", "manifest-out",
+    "csv", "manifest-out", "metrics-out", "metrics-interval",
 ];
 
 const SERVE_KEYS: &[&str] = &[
     "scenario-file", "sched", "cache-policy", "rpb", "queue", "seed", "manifest-out",
+    "metrics-out", "metrics-interval",
 ];
 
 /// One tenant's parsed spec: scenario shape plus service terms and the
@@ -259,6 +275,12 @@ pub fn contend(args: &Args) -> Result<(), PmError> {
         .iter()
         .map(|t| t.tenant_job(spec.shared.disks))
         .collect::<Result<_, _>>()?;
+    let metrics_args = MetricsArgs::from_args(args)?;
+    let metrics = stack_metrics_for(&metrics_args, spec.shared.disks, &jobs);
+    let live = metrics_args
+        .as_ref()
+        .zip(metrics.as_ref())
+        .map(|(ma, m)| ma.live(m));
 
     let mut sim = TenantSim::new(spec.shared);
     let mut reports = Vec::new();
@@ -268,8 +290,14 @@ pub fn contend(args: &Args) -> Result<(), PmError> {
         for sched_name in &scheds {
             let mut sched = sched_by_name(sched_name)
                 .map_err(|n| PmError::Usage(format!("unknown scheduler '{n}'")))?;
-            reports.push(sim.run(&jobs, &*cache, &mut *sched, seed, &opts)?);
+            reports.push(match &metrics {
+                Some(m) => sim.run_metered(&jobs, &*cache, &mut *sched, seed, &opts, &**m)?,
+                None => sim.run(&jobs, &*cache, &mut *sched, seed, &opts)?,
+            });
         }
+    }
+    if let Some(live) = live {
+        live.finish();
     }
 
     for report in &reports {
@@ -285,6 +313,9 @@ pub fn contend(args: &Args) -> Result<(), PmError> {
         std::fs::write(path, pm_obs::render_manifest(&records))
             .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
         println!("wrote manifest -> {path} ({} records)", records.len());
+    }
+    if let (Some(ma), Some(m)) = (&metrics_args, &metrics) {
+        ma.write(m)?;
     }
     Ok(())
 }
@@ -459,6 +490,14 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
         }
     }
 
+    let metrics_args = MetricsArgs::from_args(args)?;
+    let metrics = stack_metrics_for(&metrics_args, spec.shared.disks, &jobs);
+    if let Some(m) = &metrics {
+        for (t, grant) in grants.iter().enumerate() {
+            m.tenant_grant(t, u64::from(*grant));
+        }
+    }
+
     let seeds = derive_seeds(seed, jobs.len());
     let mut engines = Vec::with_capacity(jobs.len());
     let mut run_sets = Vec::with_capacity(jobs.len());
@@ -479,7 +518,12 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
     // Shared execution: every engine merges concurrently through one
     // SharedDeviceSet, scheduled by the chosen policy.
     let disks = spec.shared.disks as usize;
-    let mut set = SharedDeviceSet::start(disks, jobs.len(), sched, 1.0);
+    let live = metrics_args
+        .as_ref()
+        .zip(metrics.as_ref())
+        .map(|(ma, m)| ma.live(m));
+    let mut set =
+        SharedDeviceSet::start_with_metrics(disks, jobs.len(), sched, 1.0, metrics.clone());
     let mut threads = Vec::new();
     for (t, (engine, runs)) in engines.iter().zip(&run_sets).enumerate() {
         let mut dev = MemoryDevice::new(disks, engine.block_bytes());
@@ -487,7 +531,11 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
         let port = set.port(Arc::new(dev), jobs[t].priority);
         threads.push(std::thread::spawn({
             let engine = engine.clone();
-            move || engine.execute_shared(port)
+            let metrics = metrics.clone();
+            move || match &metrics {
+                Some(m) => engine.execute_shared_metered(port, &**m),
+                None => engine.execute_shared(port),
+            }
         }));
     }
     let mut outcomes = Vec::with_capacity(threads.len());
@@ -497,6 +545,9 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
         })??);
     }
     set.shutdown();
+    if let Some(live) = live {
+        live.finish();
+    }
 
     // Verification: each tenant byte-identical to its isolated run, with
     // simulator parity on its request sequences.
@@ -528,6 +579,17 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
         }
     }
 
+    // The isolated verification runs above go through the unmetered
+    // `execute`, so the export reflects only the shared service.
+    if let Some(m) = &metrics {
+        for (t, (shared, alone)) in outcomes.iter().zip(&isolated).enumerate() {
+            let alone_secs = alone.report.wall.as_secs_f64();
+            if alone_secs > 0.0 {
+                m.tenant_slowdown(t, shared.report.wall.as_secs_f64() / alone_secs);
+            }
+        }
+    }
+
     print_serve(&jobs, &grants, &outcomes, &isolated, sched_name, cp_name);
     if let Some(path) = args.get("manifest-out") {
         let records = serve_manifest(
@@ -536,6 +598,9 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
         std::fs::write(path, pm_obs::render_manifest(&records))
             .map_err(|e| PmError::io(format!("cannot write '{path}'"), e))?;
         println!("wrote manifest -> {path} ({} records)", records.len());
+    }
+    if let (Some(ma), Some(m)) = (&metrics_args, &metrics) {
+        ma.write(m)?;
     }
     println!(
         "\nserved {} tenants over {} shared disks: every job byte-identical to its \

@@ -1,0 +1,62 @@
+//! Golden test of the `--metrics-out` Prometheus exposition.
+//!
+//! Runs the small deterministic `contend` mix and compares the export
+//! byte-for-byte against the committed snapshot. Because histogram sums
+//! accumulate in fixed point and label order is sorted at encode time,
+//! the exposition is reproducible across machines and `--jobs` values —
+//! any diff means the metric surface actually changed.
+//!
+//! To refresh after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p pm-cli --test metrics_golden
+//! ```
+
+use std::fs;
+use std::process::Command;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/metrics_small.prom"
+);
+
+#[test]
+fn contend_exposition_matches_golden() {
+    let dir = std::env::temp_dir().join(format!("pm_metrics_golden_{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = dir.join("metrics_small.prom");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_pmerge"))
+        .args([
+            "contend",
+            "--tenants",
+            "2",
+            "--disks",
+            "2",
+            "--cache",
+            "24000",
+            "--seed",
+            "1992",
+            "--metrics-out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("run pmerge contend");
+    assert!(status.success(), "pmerge contend failed: {status}");
+
+    let produced = fs::read_to_string(&out).expect("read produced exposition");
+    let _ = fs::remove_dir_all(&dir);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(GOLDEN, &produced).expect("rewrite golden snapshot");
+        return;
+    }
+
+    let golden = fs::read_to_string(GOLDEN)
+        .expect("read tests/golden/metrics_small.prom (set UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        produced, golden,
+        "metrics exposition drifted from tests/golden/metrics_small.prom; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}

@@ -47,6 +47,7 @@ use pm_core::{
 use pm_disk::{Cylinder, DiskId, DiskRequest, QueueDiscipline};
 use pm_core::LoserTree;
 use pm_extsort::Record;
+use pm_metrics::{MetricsSink, NullMetrics};
 use pm_sim::{SimDuration, SimRng, SimTime};
 use pm_trace::{pack_tenant_tag, unpack_tag, unpack_tenant_tag, EventKind, RecordingSink, TraceEvent, TraceSink};
 
@@ -315,6 +316,28 @@ impl MergeEngine {
     /// Panics if an internal invariant breaks (mirroring the
     /// simulator's own invariant assertions).
     pub fn execute(&self, device: Arc<dyn BlockDevice>) -> Result<ExecOutcome, PmError> {
+        self.execute_metered(device, &NullMetrics)
+    }
+
+    /// [`MergeEngine::execute`] with a metrics sink: every block arrival
+    /// records per-disk service time, queue wait (submit to service
+    /// start) and bytes read into `metrics`. With
+    /// [`pm_metrics::NullMetrics`] the recording compiles away and the
+    /// run is identical to [`MergeEngine::execute`].
+    ///
+    /// # Errors
+    ///
+    /// [`PmError::Io`] if a block read fails or a worker dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal invariant breaks (mirroring the
+    /// simulator's own invariant assertions).
+    pub fn execute_metered<M: MetricsSink>(
+        &self,
+        device: Arc<dyn BlockDevice>,
+        metrics: &M,
+    ) -> Result<ExecOutcome, PmError> {
         let d = self.merge.disks as usize;
         let epoch = Instant::now();
         let pool = IoPool::start(
@@ -325,7 +348,7 @@ impl MergeEngine {
             self.cfg.time_scale,
             epoch,
         );
-        let mut state = ExecState::new(self, Box::new(pool), 0, epoch);
+        let mut state = ExecState::new(self, Box::new(pool), 0, epoch, metrics);
         state.run()
     }
 
@@ -346,6 +369,27 @@ impl MergeEngine {
     /// Panics if an internal invariant breaks (mirroring the
     /// simulator's own invariant assertions).
     pub fn execute_shared(&self, port: SharedPort) -> Result<ExecOutcome, PmError> {
+        self.execute_shared_metered(port, &NullMetrics)
+    }
+
+    /// [`MergeEngine::execute_shared`] with a metrics sink: block
+    /// arrivals additionally record per-tenant block counts and queue
+    /// waits under the port's tenant id.
+    ///
+    /// # Errors
+    ///
+    /// [`PmError::Io`] if a block read fails or the set shuts down with
+    /// requests outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal invariant breaks (mirroring the
+    /// simulator's own invariant assertions).
+    pub fn execute_shared_metered<M: MetricsSink>(
+        &self,
+        port: SharedPort,
+        metrics: &M,
+    ) -> Result<ExecOutcome, PmError> {
         if self.merge.runs > pm_trace::TENANT_TAG_MAX_RUN {
             return Err(PmError::Usage(format!(
                 "shared execution tags cap runs at {} (scenario has {})",
@@ -354,7 +398,7 @@ impl MergeEngine {
             )));
         }
         let tenant = port.tenant();
-        let mut state = ExecState::new(self, Box::new(port), tenant, Instant::now());
+        let mut state = ExecState::new(self, Box::new(port), tenant, Instant::now(), metrics);
         state.run()
     }
 
@@ -407,11 +451,12 @@ enum Gate {
 
 const DEAD: usize = usize::MAX;
 
-struct ExecState<'a> {
+struct ExecState<'a, M: MetricsSink> {
     plan: &'a MergeEngine,
     port: Box<dyn IoPort>,
     /// Tenant id stamped into trace tags (0 for dedicated runs).
     tenant: u16,
+    metrics: &'a M,
     epoch: Instant,
     cache: BlockCache,
     rng: SimRng,
@@ -440,8 +485,14 @@ struct ExecState<'a> {
     full_prefetch_ops: u64,
 }
 
-impl<'a> ExecState<'a> {
-    fn new(plan: &'a MergeEngine, port: Box<dyn IoPort>, tenant: u16, epoch: Instant) -> Self {
+impl<'a, M: MetricsSink> ExecState<'a, M> {
+    fn new(
+        plan: &'a MergeEngine,
+        port: Box<dyn IoPort>,
+        tenant: u16,
+        epoch: Instant,
+        metrics: &'a M,
+    ) -> Self {
         let merge = &plan.merge;
         let d = merge.disks as usize;
         let k = merge.runs as usize;
@@ -468,6 +519,7 @@ impl<'a> ExecState<'a> {
             plan,
             port,
             tenant,
+            metrics,
             epoch,
             cache: BlockCache::new(merge.cache_blocks, merge.runs),
             rng,
@@ -814,6 +866,7 @@ impl<'a> ExecState<'a> {
                     tag,
                 },
                 span,
+                submitted: Instant::now(),
             });
         }
         let progress = &mut self.runs[run.0 as usize];
@@ -886,6 +939,19 @@ impl<'a> ExecState<'a> {
             .map_err(|e| PmError::io(format!("read run {run} block {index}"), e))?;
         let started = SimTime::ZERO + SimDuration::from_nanos(completion.started_ns);
         let finished = SimTime::ZERO + SimDuration::from_nanos(completion.finished_ns);
+        if M::ENABLED {
+            const NANOS_PER_SEC: f64 = 1e9;
+            let wait = completion.started_ns.saturating_sub(completion.submitted_ns) as f64
+                / NANOS_PER_SEC;
+            let service = completion.finished_ns.saturating_sub(completion.started_ns) as f64
+                / NANOS_PER_SEC;
+            self.metrics
+                .disk_io(d, self.plan.block_bytes() as u64, wait, service);
+            // Dedicated runs carry tenant 0; a sink built without tenants
+            // drops these, a shared run's sink attributes them.
+            self.metrics.tenant_blocks(self.tenant as usize, 1);
+            self.metrics.tenant_wait(self.tenant as usize, wait);
+        }
         let sequential = match completion.injected {
             Some(inj) => {
                 self.per_disk_modeled_busy[d] += inj.breakdown.total();

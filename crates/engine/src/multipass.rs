@@ -34,6 +34,7 @@ use std::time::Duration;
 use pm_core::{MergeConfig, PmError, ScenarioBuilder};
 use pm_extsort::plan::MergeTreePlan;
 use pm_extsort::Record;
+use pm_metrics::{MetricsSink, NullMetrics};
 use pm_sim::{SimDuration, SimTime};
 use pm_trace::{EventKind, TraceEvent};
 
@@ -254,6 +255,22 @@ impl<'p> MultiPassExecutor<'p> {
         self.run_with_hook(runs, |_| Ok(()))
     }
 
+    /// [`MultiPassExecutor::run`] with a metrics sink: each group's
+    /// engine execution records its per-disk observations and each
+    /// completed pass records `pm_pass_blocks_read` /
+    /// `pm_pass_records_merged` under its pass label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any scenario, I/O, or parity error from a pass.
+    pub fn run_metered<M: MetricsSink>(
+        &self,
+        runs: Vec<Vec<Record>>,
+        metrics: &M,
+    ) -> Result<MultiPassOutcome, PmError> {
+        self.run_with_hook_metered(runs, |_| Ok(()), metrics)
+    }
+
     /// Like [`MultiPassExecutor::run`], with a fault-injection hook
     /// called after each pass's groups complete but *before* the pass's
     /// staging directory is removed — the crash window a test wants to
@@ -268,7 +285,22 @@ impl<'p> MultiPassExecutor<'p> {
     pub fn run_with_hook(
         &self,
         runs: Vec<Vec<Record>>,
+        hook: impl FnMut(u32) -> Result<(), PmError>,
+    ) -> Result<MultiPassOutcome, PmError> {
+        self.run_with_hook_metered(runs, hook, &NullMetrics)
+    }
+
+    /// [`MultiPassExecutor::run_with_hook`] with a metrics sink (see
+    /// [`MultiPassExecutor::run_metered`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass errors and whatever the hook returns.
+    pub fn run_with_hook_metered<M: MetricsSink>(
+        &self,
+        runs: Vec<Vec<Record>>,
         mut hook: impl FnMut(u32) -> Result<(), PmError>,
+        metrics: &M,
     ) -> Result<MultiPassOutcome, PmError> {
         if let Some(first) = self.plan.passes.first() {
             if first.run_blocks.len() != runs.len() {
@@ -289,7 +321,7 @@ impl<'p> MultiPassExecutor<'p> {
             }
             _ => None,
         };
-        let result = self.execute_passes(runs, &mut hook, &staging);
+        let result = self.execute_passes(runs, &mut hook, &staging, metrics);
         if result.is_err() {
             // This invocation is done with its token; left behind it
             // would survive every sweep for as long as the process
@@ -301,11 +333,12 @@ impl<'p> MultiPassExecutor<'p> {
         result
     }
 
-    fn execute_passes(
+    fn execute_passes<M: MetricsSink>(
         &self,
         runs: Vec<Vec<Record>>,
         hook: &mut impl FnMut(u32) -> Result<(), PmError>,
         staging: &Option<PathBuf>,
+        metrics: &M,
     ) -> Result<MultiPassOutcome, PmError> {
         let mut level = runs;
         let mut passes: Vec<PassOutcome> = Vec::with_capacity(self.plan.passes.len());
@@ -370,7 +403,7 @@ impl<'p> MultiPassExecutor<'p> {
                     PassBackend::Memory => {
                         let mut dev = MemoryDevice::new(disks, engine.block_bytes());
                         engine.load(&mut dev, &inputs)?;
-                        engine.execute(Arc::new(dev))?
+                        engine.execute_metered(Arc::new(dev), metrics)?
                     }
                     PassBackend::File { .. } => {
                         let dir = staging
@@ -387,7 +420,7 @@ impl<'p> MultiPassExecutor<'p> {
                                     )
                                 })?;
                         engine.load(&mut dev, &inputs)?;
-                        engine.execute(Arc::new(dev))?
+                        engine.execute_metered(Arc::new(dev), metrics)?
                     }
                     PassBackend::Latency => {
                         let mut inner = MemoryDevice::new(disks, engine.block_bytes());
@@ -399,7 +432,7 @@ impl<'p> MultiPassExecutor<'p> {
                             cfg.discipline,
                             disk_seed_for(&cfg),
                         );
-                        engine.execute(Arc::new(dev))?
+                        engine.execute_metered(Arc::new(dev), metrics)?
                     }
                 };
                 let prediction = engine.predict(&outcome.depletion)?;
@@ -465,6 +498,9 @@ impl<'p> MultiPassExecutor<'p> {
                 kind: ev.kind,
             }));
             tree_offset += wall_as_sim(out.wall);
+            if M::ENABLED {
+                metrics.pass_done(out.pass, out.blocks_read, out.records_merged);
+            }
             passes.push(out);
         }
         if let Some(staging) = &staging {

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use pm_metrics::{MetricsSink, StackMetrics};
 use pm_service::{IoSched, PendingIo};
 
 use crate::device::BlockDevice;
@@ -59,6 +60,12 @@ struct SharedInner {
     sched: Mutex<Box<dyn IoSched>>,
     /// Global enqueue sequence across all disks and jobs.
     seq: AtomicU64,
+    /// Optional metrics sink: disk workers sample per-disk queue depth
+    /// and per-tenant WFQ virtual-time lag at every dispatch. Concrete
+    /// ([`StackMetrics`], not the [`MetricsSink`] trait) because worker
+    /// threads need a shared owned handle and the trait's associated
+    /// const makes it non-dyn-compatible.
+    metrics: Option<Arc<StackMetrics>>,
 }
 
 /// Per-disk worker threads shared by multiple merge jobs, with a
@@ -81,7 +88,22 @@ impl SharedDeviceSet {
     /// `time_scale` scales injected latency exactly as the per-run pool
     /// does.
     #[must_use]
-    pub fn start(disks: usize, tenants: usize, mut sched: Box<dyn IoSched>, time_scale: f64) -> Self {
+    pub fn start(disks: usize, tenants: usize, sched: Box<dyn IoSched>, time_scale: f64) -> Self {
+        Self::start_with_metrics(disks, tenants, sched, time_scale, None)
+    }
+
+    /// [`SharedDeviceSet::start`] with a metrics sink: every dispatch
+    /// samples the disk's remaining queue depth
+    /// (`pm_disk_queue_depth`) and, under a WFQ scheduler, the served
+    /// tenant's virtual-time lag (`pm_tenant_wfq_lag_ticks`).
+    #[must_use]
+    pub fn start_with_metrics(
+        disks: usize,
+        tenants: usize,
+        mut sched: Box<dyn IoSched>,
+        time_scale: f64,
+        metrics: Option<Arc<StackMetrics>>,
+    ) -> Self {
         sched.reset(disks, tenants);
         let epoch = Instant::now();
         let inner = Arc::new(SharedInner {
@@ -90,6 +112,7 @@ impl SharedDeviceSet {
                 .collect(),
             sched: Mutex::new(sched),
             seq: AtomicU64::new(0),
+            metrics,
         });
         let mut handles = Vec::with_capacity(disks);
         for d in 0..disks {
@@ -220,9 +243,18 @@ fn disk_worker(inner: &SharedInner, d: usize, time_scale: f64, epoch: Instant) {
             }
             let mut sched = inner.sched.lock().expect("shared sched poisoned");
             let idx = sched.pick(d, &q.ios);
-            sched.served(d, &q.ios[idx]);
+            let io = q.ios[idx];
+            sched.served(d, &io);
+            if let Some(m) = &inner.metrics {
+                if let Some(lag) = sched.vtime_lag(d, io.tenant as usize) {
+                    m.wfq_lag(io.tenant as usize, lag);
+                }
+            }
             drop(sched);
             q.ios.swap_remove(idx);
+            if let Some(m) = &inner.metrics {
+                m.disk_queue_depth(d, q.ios.len() as f64);
+            }
             q.entries.swap_remove(idx)
         };
         let completion = service_one(&entry.device, &mut free_at, entry.req, time_scale, epoch);

@@ -22,6 +22,8 @@ pub(crate) struct IoRequest {
     pub req: DiskRequest,
     /// Per-disk monotone span id (ties trace issue events to completions).
     pub span: u64,
+    /// When the merge thread submitted the request (queue-wait metrics).
+    pub submitted: Instant,
 }
 
 /// A serviced request on its way back to the merge thread.
@@ -33,6 +35,9 @@ pub(crate) struct IoCompletion {
     pub hint: bool,
     /// The modeled service, when the backend injects latency.
     pub injected: Option<InjectedService>,
+    /// Submission instant, nanoseconds since the engine epoch
+    /// (`started_ns - submitted_ns` is the request's queue wait).
+    pub submitted_ns: u64,
     /// Service start/end, nanoseconds since the engine epoch.
     pub started_ns: u64,
     pub finished_ns: u64,
@@ -228,7 +233,7 @@ pub(crate) fn service_one(
     time_scale: f64,
     epoch: Instant,
 ) -> IoCompletion {
-    let IoRequest { req, span } = io;
+    let IoRequest { req, span, submitted } = io;
     let injected = device.service_timing(&req);
     let mut buf = vec![0u8; device.block_bytes()];
     let (started, finished);
@@ -256,6 +261,7 @@ pub(crate) fn service_one(
         span,
         hint: req.sequential_hint,
         injected,
+        submitted_ns: since(epoch, submitted),
         started_ns: since(epoch, started),
         finished_ns: since(epoch, finished),
         data: result.map(|()| buf),

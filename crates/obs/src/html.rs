@@ -273,7 +273,13 @@ fn tenant_tables(out: &mut String, rows: &[&ManifestRecord]) {
             num_cell(out, &format!("{:.3}", t.isolated_secs));
             num_cell(out, &format!("{:.3}", t.makespan_secs));
             num_cell(out, &format!("{:.4}", t.queue_wait_secs));
-            num_cell(out, &format!("{:.3}", t.slowdown));
+            // Undefined slowdown (zero-second isolated baseline round-trips
+            // as NaN) renders as a dash, not "NaN".
+            if t.slowdown.is_finite() {
+                num_cell(out, &format!("{:.3}", t.slowdown));
+            } else {
+                num_cell(out, "—");
+            }
             out.push_str("</tr>\n");
         }
         out.push_str("</table>\n");
@@ -517,6 +523,50 @@ mod tests {
         assert!(html.contains("fairness (max/min slowdown) 2.500"));
         assert!(html.contains("sched <code>wfq</code>"));
         assert!(html.contains("fairness (max/min slowdown) 1.200"));
+    }
+
+    /// A manifest that mixes schema-v1/v2 records (no `tenant` field)
+    /// with v3 tenant records — one of them carrying an undefined
+    /// (NaN → JSON null) slowdown — must still render the fairness
+    /// summary from the finite slowdowns, with the undefined cell
+    /// dashed out instead of "NaN".
+    #[test]
+    fn mixed_manifest_with_nan_slowdown_renders_fairness() {
+        use crate::manifest::TenantInfo;
+        let mut v1 = record(RecordKind::T1Case, "legacy v1 point", Some(true));
+        v1.schema = 1;
+        v1.pass = None;
+        let mut v2 = record(RecordKind::EngineExec, "v2 exec pass", None);
+        v2.schema = 2;
+        v2.pass = Some(1);
+        let tenant = |name: &str, slowdown: f64| TenantInfo {
+            name: name.into(),
+            priority: 1,
+            arrival_secs: 0.0,
+            cache_blocks: 1500,
+            sched: "wfq".into(),
+            cache_policy: "static".into(),
+            isolated_secs: if slowdown.is_finite() { 10.0 } else { 0.0 },
+            makespan_secs: 10.0,
+            queue_wait_secs: 0.002,
+            slowdown,
+        };
+        let mut rows = vec![v1, v2];
+        for (name, s) in [("a", 2.0), ("b", 4.0), ("zero-baseline", f64::NAN)] {
+            let mut r = record(RecordKind::EngineExec, &format!("serve:{name}"), None);
+            r.tenant = Some(tenant(name, s));
+            rows.push(r);
+        }
+        // Round-trip through the manifest text first: the NaN slowdown
+        // travels as null and used to abort the whole re-parse.
+        let text = crate::manifest::render_manifest(&rows);
+        let parsed = crate::manifest::parse_manifest(&text).unwrap();
+        assert_eq!(parsed.len(), rows.len());
+        let html = render_report(&parsed);
+        assert!(html.contains("Multi-tenant service"));
+        assert!(html.contains("fairness (max/min slowdown) 2.000"));
+        assert!(html.contains("<td class=\"num\">—</td>"));
+        assert!(!html.contains("NaN"));
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   curves) and the driver that runs any point list into records.
 //! * [`html`] — a fully self-contained HTML report (inline CSS + SVG)
 //!   with residual badges, CI error bars, and convergence diagnostics.
+//! * [`metrics`] — exporters over [`pm_metrics`] registry snapshots
+//!   (Prometheus text / JSON) plus the throttled live status view and
+//!   periodic snapshot writer behind `--metrics-out`.
 //!
 //! # Example
 //!
@@ -57,6 +60,7 @@ pub mod convergence;
 pub mod html;
 pub mod json;
 pub mod manifest;
+pub mod metrics;
 pub mod progress;
 pub mod residual;
 pub mod suite;
@@ -66,6 +70,9 @@ pub use html::render_report;
 pub use manifest::{
     env_record_line, parse_manifest, render_manifest, DiskRollup, ManifestRecord, PointMetrics,
     RecordKind, TenantInfo, TraceRollup, SCHEMA_VERSION,
+};
+pub use metrics::{
+    metrics_json, render_metrics, snapshot_path, LiveMetrics, LiveMetricsOptions, MetricsFormat,
 };
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
 pub use residual::{closed_form, Bound, ResidualCheck, TolerancePolicy};

@@ -381,7 +381,7 @@ impl ManifestRecord {
                 isolated_secs: get_f64(t, "isolated_secs")?,
                 makespan_secs: get_f64(t, "makespan_secs")?,
                 queue_wait_secs: get_f64(t, "queue_wait_secs")?,
-                slowdown: get_f64(t, "slowdown")?,
+                slowdown: get_f64_or_nan(t, "slowdown")?,
             }),
         };
         let kind_str = get_str(&v, "kind")?;
@@ -511,6 +511,19 @@ fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
     get(v, key)?
         .as_f64()
         .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+/// Like [`get_f64`], but `null` (how [`Value::Num`] serializes NaN —
+/// JSON has no NaN literal) and an absent key parse back as NaN. Used
+/// for fields that are legitimately undefined, e.g. a tenant's slowdown
+/// when its isolated baseline measured zero seconds.
+fn get_f64_or_nan(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(f64::NAN),
+        Some(other) => other
+            .as_f64()
+            .ok_or_else(|| format!("field '{key}' is not a number")),
+    }
 }
 
 fn get_opt_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
@@ -687,6 +700,30 @@ mod tests {
         let line = r.to_json_line();
         assert!(line.contains("\"auto\":null"));
         assert_eq!(ManifestRecord::from_json_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn nan_slowdown_emits_null_and_parses_back_nan() {
+        // A serve tenant whose isolated baseline measured zero seconds
+        // has an undefined slowdown; NaN serializes as JSON null and
+        // must round-trip without failing the whole manifest parse.
+        let mut r = sample(RecordKind::Contend);
+        r.tenant = Some(TenantInfo {
+            name: "zero-baseline".into(),
+            priority: 1,
+            arrival_secs: 0.0,
+            cache_blocks: 100,
+            sched: "wfq".into(),
+            cache_policy: "static".into(),
+            isolated_secs: 0.0,
+            makespan_secs: 0.25,
+            queue_wait_secs: 0.001,
+            slowdown: f64::NAN,
+        });
+        let line = r.to_json_line();
+        assert!(line.contains("\"slowdown\":null"), "{line}");
+        let back = ManifestRecord::from_json_line(&line).unwrap();
+        assert!(back.tenant.unwrap().slowdown.is_nan());
     }
 
     #[test]

@@ -51,6 +51,15 @@ pub trait IoSched: Send {
 
     /// The picked entry was dispatched on `disk`; update bookkeeping.
     fn served(&mut self, _disk: usize, _io: &PendingIo) {}
+
+    /// Virtual-time lag of `tenant`'s flow on `disk`, in cost units: how
+    /// far the flow's last finish tag trails the disk's virtual clock
+    /// (0 when the flow is keeping pace). `None` for schedulers with no
+    /// virtual-time notion — callers feed it to the per-tenant
+    /// `pm_tenant_wfq_lag_ticks` gauge only when present.
+    fn vtime_lag(&self, _disk: usize, _tenant: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// First-come-first-served: strictly by enqueue order, blind to tenant,
@@ -189,6 +198,12 @@ impl IoSched for Wfq {
         self.finish[flow] = tag;
         self.vtime[disk] = tag;
         self.queued[flow] = self.queued[flow].saturating_sub(1);
+    }
+
+    fn vtime_lag(&self, disk: usize, tenant: usize) -> Option<u64> {
+        let flow = disk * self.tenants + tenant;
+        let lag = self.vtime.get(disk)?.saturating_sub(*self.finish.get(flow)?);
+        Some(lag >> WFQ_SHIFT)
     }
 }
 
@@ -400,6 +415,25 @@ mod tests {
             order.push(picked.tenant);
         }
         assert_eq!(order, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn wfq_lag_tracks_the_starved_flow() {
+        let mut s = Wfq::new();
+        s.reset(1, 2);
+        // Both flows backlogged, but only tenant 0 gets served.
+        let pending: Vec<PendingIo> =
+            vec![io(0, 1, 0, 100), io(0, 1, 1, 100), io(1, 1, 2, 100)];
+        for p in &pending {
+            s.enqueued(0, p);
+        }
+        s.served(0, &pending[0]);
+        s.served(0, &pending[1]);
+        assert_eq!(s.vtime_lag(0, 0), Some(0), "served flow keeps pace");
+        let lag = s.vtime_lag(0, 1).unwrap();
+        assert!(lag > 0, "starved flow trails the disk clock");
+        assert_eq!(s.vtime_lag(9, 0), None, "unknown disk");
+        assert_eq!(Fifo.vtime_lag(0, 0), None, "fifo has no virtual clock");
     }
 
     #[test]

@@ -32,9 +32,13 @@
 //! admission (the perf-smoke harness gates this).
 
 use pm_core::{MergeConfig, MergeSim, PmError};
+use pm_metrics::{MetricsSink, NullMetrics};
 use pm_sim::{derive_seeds, SimDuration};
 
 use crate::policy::{CacheDemand, CachePolicy, Fifo, IoSched, PendingIo};
+
+/// Nanoseconds per second, for metric observations (seconds-valued).
+const NANOS_PER_SEC: f64 = 1e9;
 
 /// One tenant's admission request: a scenario plus service terms.
 #[derive(Debug, Clone)]
@@ -240,6 +244,31 @@ impl TenantSim {
         master_seed: u64,
         opts: &TenantSimOptions,
     ) -> Result<ContentionReport, PmError> {
+        self.run_metered(jobs, cache, sched, master_seed, opts, &NullMetrics)
+    }
+
+    /// [`TenantSim::run`] with live metrics: cache grants, per-trial
+    /// isolated-profile counters, per-dispatch disk/tenant observations
+    /// from the *contended* replay (the isolated baselines stay silent),
+    /// WFQ virtual-time lag samples, and final slowdowns.
+    ///
+    /// Recording is observational — the returned report is bit-identical
+    /// to [`TenantSim::run`]'s, and because the replay is sequential and
+    /// counter aggregation commutes, the recorded totals are identical
+    /// for every `opts.jobs` value.
+    ///
+    /// # Errors
+    ///
+    /// As [`TenantSim::run`].
+    pub fn run_metered<M: MetricsSink>(
+        &mut self,
+        jobs: &[TenantJob],
+        cache: &dyn CachePolicy,
+        sched: &mut dyn IoSched,
+        master_seed: u64,
+        opts: &TenantSimOptions,
+        metrics: &M,
+    ) -> Result<ContentionReport, PmError> {
         if jobs.is_empty() {
             return Err(PmError::Usage("no tenant jobs to admit".into()));
         }
@@ -277,6 +306,12 @@ impl TenantSim {
             }
         }
 
+        if M::ENABLED {
+            for (t, grant) in grants.iter().enumerate() {
+                metrics.tenant_grant(t, u64::from(*grant));
+            }
+        }
+
         // Isolated profiles: per-tenant seeds pre-derived, fan-out
         // jobs-invariant by construction.
         let seeds = derive_seeds(master_seed, jobs.len());
@@ -301,6 +336,15 @@ impl TenantSim {
         let mut sim_totals = Vec::with_capacity(jobs.len());
         for (t, report) in reports.into_iter().enumerate() {
             let report = report.map_err(PmError::from)?;
+            if M::ENABLED {
+                metrics.trial_done(
+                    configs[t].strategy.label(),
+                    report.blocks_merged,
+                    report.demand_ops,
+                    report.fallback_ops,
+                    report.full_prefetch_ops,
+                );
+            }
             self.lane_start.push(self.lanes.len());
             let total_busy: u64 = report.per_disk_busy.iter().map(|b| b.as_nanos()).sum();
             for (i, busy) in report.per_disk_busy.iter().enumerate() {
@@ -348,13 +392,13 @@ impl TenantSim {
         let mut isolated = vec![0u64; n];
         for (t, iso) in isolated.iter_mut().enumerate() {
             fifo.reset(disks, n);
-            self.replay(jobs, Some(t), &mut fifo);
+            self.replay(jobs, Some(t), &mut fifo, &NullMetrics);
             *iso = self.finish[t].saturating_sub(jobs[t].arrival.as_nanos());
         }
 
-        // The contended run.
+        // The contended run — the only replay that records.
         sched.reset(disks, n);
-        self.replay(jobs, None, sched);
+        self.replay(jobs, None, sched, metrics);
 
         let mut tenants = Vec::with_capacity(n);
         let mut first_arrival = u64::MAX;
@@ -383,6 +427,9 @@ impl TenantSim {
                     1.0
                 },
             });
+            if M::ENABLED {
+                metrics.tenant_slowdown(t, tenants[t].slowdown);
+            }
         }
         Ok(ContentionReport {
             tenants,
@@ -399,7 +446,13 @@ impl TenantSim {
     /// Replays the admitted demand through the shared disk set under
     /// `sched`. `only` restricts the replay to a single tenant (the
     /// isolated baseline). Fills `self.finish` / `wait_sum` / `served`.
-    fn replay(&mut self, jobs: &[TenantJob], only: Option<usize>, sched: &mut dyn IoSched) {
+    fn replay<M: MetricsSink>(
+        &mut self,
+        jobs: &[TenantJob],
+        only: Option<usize>,
+        sched: &mut dyn IoSched,
+        metrics: &M,
+    ) {
         let n = jobs.len();
         let active = |t: usize| only.is_none_or(|o| o == t);
         for t in 0..n {
@@ -445,7 +498,7 @@ impl TenantSim {
                         self.enqueue_batch(l, now, &mut seq, sched);
                     }
                     for l in start..end {
-                        self.try_start(self.lanes[l].disk as usize, now, &mut seq, sched);
+                        self.try_start(self.lanes[l].disk as usize, now, &mut seq, sched, metrics);
                     }
                 }
                 Ev::Complete(d) => {
@@ -462,7 +515,7 @@ impl TenantSim {
                             self.finish[t] = now;
                         }
                     }
-                    self.try_start(d, now, &mut seq, sched);
+                    self.try_start(d, now, &mut seq, sched, metrics);
                 }
             }
         }
@@ -497,7 +550,14 @@ impl TenantSim {
     }
 
     /// Dispatches the scheduler's pick on disk `d` if it is idle.
-    fn try_start(&mut self, d: usize, now: u64, seq: &mut u64, sched: &mut dyn IoSched) {
+    fn try_start<M: MetricsSink>(
+        &mut self,
+        d: usize,
+        now: u64,
+        seq: &mut u64,
+        sched: &mut dyn IoSched,
+        metrics: &M,
+    ) {
         if self.in_service[d].is_some() || self.pending[d].is_empty() {
             return;
         }
@@ -511,6 +571,19 @@ impl TenantSim {
         run.outstanding += 1;
         self.wait_sum[t] += now.saturating_sub(run.enq_at);
         self.served[t] += 1;
+        if M::ENABLED {
+            // bytes = 0: the replay models service time per request, not a
+            // byte stream — the byte counter stays with the engine face.
+            let wait = now.saturating_sub(run.enq_at) as f64 / NANOS_PER_SEC;
+            let service = io.cost as f64 / NANOS_PER_SEC;
+            metrics.disk_io(d, 0, wait, service);
+            metrics.tenant_wait(t, wait);
+            metrics.tenant_blocks(t, 1);
+            if let Some(lag) = sched.vtime_lag(d, t) {
+                metrics.wfq_lag(t, lag);
+            }
+            metrics.disk_queue_depth(d, self.pending[d].len() as f64);
+        }
         if run.queued == 0 {
             // The batch's last request left the queue: drop the entry.
             self.pending[d].swap_remove(idx);
