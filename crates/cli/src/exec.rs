@@ -2,12 +2,18 @@
 //!
 //! Generates records, forms sorted runs (the pm-extsort run-formation
 //! pass), then merges them through [`pm_engine::MergeEngine`] against a
-//! pluggable [`BlockDevice`] backend:
+//! pluggable [`IoQueue`] backend:
 //!
-//! - `mem`     — in-memory golden reference
-//! - `file`    — one file per simulated disk, real positioned reads
-//! - `latency` — deterministic per-request delays from the pm-disk
+//! - `mem`         — in-memory golden reference
+//! - `file`        — one file per simulated disk, real positioned reads
+//! - `file-direct` — the file backend reading through `O_DIRECT`
+//! - `latency`     — deterministic per-request delays from the pm-disk
 //!   service model, for sim-vs-engine cross-validation
+//! - `uring`       — io_uring + `O_DIRECT` with registered buffers
+//!   (`--features uring`; probed at runtime, falling back to `file`)
+//!
+//! `--queue-depth` bounds the per-disk I/O queue (0 = the scenario's
+//! prefetch depth).
 //!
 //! Every run is verified against the in-memory reference (key order plus
 //! multiset equality with the input) and cross-checked against the
@@ -21,8 +27,8 @@ use std::sync::Arc;
 
 use pm_core::{ConfigError, PmError, PrefetchStrategy, ScenarioBuilder, SyncMode};
 use pm_engine::{
-    disk_seed_for, BlockDevice, ExecConfig, ExecOutcome, FileDevice, LatencyDevice, MemoryDevice,
-    MergeEngine, MultiPassExecutor, MultiPassOptions, MultiPassOutcome, PassBackend, RECORD_BYTES,
+    disk_seed_for, ExecConfig, ExecOutcome, IoQueue, MergeEngine, MultiPassExecutor,
+    MultiPassOptions, MultiPassOutcome, PassBackend, ThreadedQueue, RECORD_BYTES,
 };
 use pm_extsort::plan::{min_passes, plan_merge_tree, PlanPolicy};
 use pm_extsort::{generate, run_formation, Record};
@@ -44,8 +50,8 @@ const EXEC_KEYS: &[&str] = &[
     "records", "memory", "formation", "rpb",
     // Scenario (run count comes from formation, not --runs).
     "disks", "strategy", "n", "cache", "sync", "admission", "choice", "cap", "layout", "seed",
-    // Execution.
-    "backend", "dir", "jobs", "queue", "time-scale",
+    // Execution ("queue" is the deprecated alias of "queue-depth").
+    "backend", "dir", "jobs", "queue-depth", "queue", "time-scale",
     // Multi-pass planning (presence of either selects the multi-pass path).
     "fan-in", "passes", "plan-policy",
     // Outputs and checks.
@@ -57,21 +63,23 @@ const EXEC_KEYS: &[&str] = &[
 /// asked for a sink, the plain one otherwise.
 fn execute_with(
     engine: &MergeEngine,
-    device: Arc<dyn BlockDevice>,
+    queue: Box<dyn IoQueue>,
     metrics: Option<&StackMetrics>,
 ) -> Result<ExecOutcome, PmError> {
     match metrics {
-        Some(m) => engine.execute_metered(device, m),
-        None => engine.execute(device),
+        Some(m) => engine.execute_metered(queue, m),
+        None => engine.execute(queue),
     }
 }
 
-/// Which device backs the engine.
+/// Which I/O queue backs the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Backend {
     Memory,
     File,
+    FileDirect,
     Latency,
+    Uring,
 }
 
 impl Backend {
@@ -79,9 +87,11 @@ impl Backend {
         match s {
             "mem" | "memory" => Ok(Backend::Memory),
             "file" => Ok(Backend::File),
+            "file-direct" | "direct" => Ok(Backend::FileDirect),
             "latency" => Ok(Backend::Latency),
+            "uring" | "io_uring" => Ok(Backend::Uring),
             other => Err(PmError::Usage(format!(
-                "unknown backend '{other}' (mem | file | latency)"
+                "unknown backend '{other}' (mem | file | file-direct | latency | uring)"
             ))),
         }
     }
@@ -90,21 +100,70 @@ impl Backend {
         match self {
             Backend::Memory => "mem",
             Backend::File => "file",
+            Backend::FileDirect => "file-direct",
             Backend::Latency => "latency",
+            Backend::Uring => "uring",
         }
+    }
+
+    /// Backends whose reads bypass the page cache and therefore need
+    /// 512-byte-aligned blocks.
+    fn needs_alignment(self) -> bool {
+        matches!(self, Backend::FileDirect | Backend::Uring)
+    }
+
+    /// Backends that stage blocks in disk files.
+    fn uses_files(self) -> bool {
+        matches!(self, Backend::File | Backend::FileDirect | Backend::Uring)
+    }
+}
+
+#[cfg(feature = "uring")]
+fn uring_supported() -> bool {
+    pm_engine::uring_available()
+}
+
+#[cfg(not(feature = "uring"))]
+fn uring_supported() -> bool {
+    false
+}
+
+/// Downgrades `uring` to `file` (with a visible notice) when the build
+/// or the kernel can't serve it.
+fn resolve_uring(backend: Backend) -> Backend {
+    if backend != Backend::Uring || uring_supported() {
+        return backend;
+    }
+    if cfg!(feature = "uring") {
+        println!("uring backend unavailable: io_uring setup probe failed on this kernel; falling back to the file backend");
+    } else {
+        println!("uring backend not compiled in (rebuild with --features uring); falling back to the file backend");
+    }
+    Backend::File
+}
+
+/// `--queue-depth` (with its deprecated `--queue` alias): per-disk I/O
+/// queue depth, `0` = negotiate the scenario's prefetch depth.
+fn queue_depth_arg(args: &Args) -> Result<usize, PmError> {
+    if args.get("queue-depth").is_some() {
+        args.get_parsed("queue-depth", 0usize)
+    } else {
+        args.get_parsed("queue", 0usize)
     }
 }
 
 /// `pmerge exec`
 pub fn exec(args: &Args) -> Result<(), PmError> {
     args.check_known(EXEC_KEYS)?;
-    let backend = Backend::parse(args.get("backend").unwrap_or("mem"))?;
+    let backend = resolve_uring(Backend::parse(args.get("backend").unwrap_or("mem"))?);
     let records: usize = args.get_parsed("records", 50_000usize)?;
     let memory: usize = args.get_parsed("memory", 5_000usize)?;
     if records == 0 || memory == 0 {
         return Err(PmError::Usage("--records and --memory must be positive".into()));
     }
-    let rpb: u32 = args.get_parsed("rpb", 40u32)?;
+    // O_DIRECT backends need 512-byte-aligned blocks: 32 records/block
+    // (512 B) aligns, the classic 40 (640 B) does not.
+    let rpb: u32 = args.get_parsed("rpb", if backend.needs_alignment() { 32 } else { 40 })?;
     let seed: u64 = args.get_parsed("seed", 1992)?;
     let tol_exec: f64 = args.get_parsed("tol-exec", 0.02)?;
     if !(tol_exec.is_finite() && tol_exec > 0.0) {
@@ -133,7 +192,7 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
         .map_err(|e| fan_in_hint(args, e, runs.len() as u32))?;
     let mut exec_cfg = ExecConfig::new(cfg);
     exec_cfg.records_per_block = rpb;
-    exec_cfg.queue_capacity = args.get_parsed("queue", 64usize)?;
+    exec_cfg.queue_depth = queue_depth_arg(args)?;
     exec_cfg.jobs = args.get_parsed("jobs", 0usize)?;
     exec_cfg.time_scale = args.get_parsed("time-scale", 1.0f64)?;
     let engine = MergeEngine::new(exec_cfg, runs.iter().map(Vec::len).collect())?;
@@ -161,40 +220,63 @@ pub fn exec(args: &Args) -> Result<(), PmError> {
         .as_ref()
         .zip(metrics.as_ref())
         .map(|(ma, m)| ma.live(m));
-    let outcome = match backend {
-        Backend::Memory => {
-            let mut dev = MemoryDevice::new(disks, engine.block_bytes());
-            engine.load(&mut dev, &runs)?;
-            execute_with(&engine, Arc::new(dev), metrics.as_deref())?
-        }
-        Backend::File => {
-            let dir = match args.get("dir") {
-                Some(d) => std::path::PathBuf::from(d),
-                None => std::env::temp_dir().join(format!("pmerge-exec-{}", std::process::id())),
-            };
-            let mut dev = FileDevice::create(&dir, disks, engine.block_bytes())
-                .map_err(|e| PmError::io(format!("cannot create '{}'", dir.display()), e))?;
-            engine.load(&mut dev, &runs)?;
-            let outcome = execute_with(&engine, Arc::new(dev), metrics.as_deref())?;
-            println!("device files under {}", dir.display());
-            if args.get("dir").is_none() {
-                let _ = std::fs::remove_dir_all(&dir);
+    let opts = engine.queue_options();
+    let dir = backend.uses_files().then(|| match args.get("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("pmerge-exec-{}", std::process::id())),
+    });
+    let outcome = {
+        let mut queue: Box<dyn IoQueue> = match backend {
+            Backend::Memory => {
+                Box::new(ThreadedQueue::memory(disks, engine.block_bytes(), opts))
             }
-            outcome
-        }
-        Backend::Latency => {
-            let mut inner = MemoryDevice::new(disks, engine.block_bytes());
-            engine.load(&mut inner, &runs)?;
-            let dev = LatencyDevice::new(
-                inner,
+            Backend::File => {
+                let dir = dir.as_ref().expect("file backend has a dir");
+                Box::new(
+                    ThreadedQueue::file(dir, disks, engine.block_bytes(), opts).map_err(
+                        |e| PmError::io(format!("cannot create '{}'", dir.display()), e),
+                    )?,
+                )
+            }
+            Backend::FileDirect => {
+                let dir = dir.as_ref().expect("file-direct backend has a dir");
+                Box::new(ThreadedQueue::file_direct(
+                    dir,
+                    disks,
+                    engine.block_bytes(),
+                    opts,
+                )?)
+            }
+            Backend::Latency => Box::new(ThreadedQueue::latency(
                 disks,
+                engine.block_bytes(),
                 cfg.disk_spec,
                 cfg.discipline,
                 disk_seed_for(&cfg),
-            );
-            execute_with(&engine, Arc::new(dev), metrics.as_deref())?
-        }
+                opts,
+            )),
+            #[cfg(feature = "uring")]
+            Backend::Uring => {
+                let dir = dir.as_ref().expect("uring backend has a dir");
+                Box::new(pm_engine::UringQueue::create(
+                    dir,
+                    disks,
+                    engine.block_bytes(),
+                    opts.depth,
+                )?)
+            }
+            #[cfg(not(feature = "uring"))]
+            Backend::Uring => unreachable!("resolve_uring downgraded the backend"),
+        };
+        engine.load(&mut *queue, &runs)?;
+        execute_with(&engine, queue, metrics.as_deref())?
     };
+    if let Some(dir) = &dir {
+        println!("device files under {}", dir.display());
+        if args.get("dir").is_none() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
     if let Some(live) = live {
         live.finish();
     }
@@ -358,20 +440,25 @@ fn exec_multipass(
         .map_err(|e| fan_in_hint(args, e, fan_in_cap.min(k)))?;
     let opts = MultiPassOptions {
         records_per_block: rpb,
-        queue_capacity: args.get_parsed("queue", 64usize)?,
+        queue_depth: queue_depth_arg(args)?,
         jobs: args.get_parsed("jobs", 0usize)?,
         time_scale: args.get_parsed("time-scale", 1.0f64)?,
     };
     let (pass_backend, temp_dir) = match backend {
         Backend::Memory => (PassBackend::Memory, None),
         Backend::Latency => (PassBackend::Latency, None),
-        Backend::File => {
+        Backend::File | Backend::FileDirect | Backend::Uring => {
             let root = match args.get("dir") {
                 Some(d) => std::path::PathBuf::from(d),
                 None => std::env::temp_dir().join(format!("pmerge-exec-{}", std::process::id())),
             };
             let temp = args.get("dir").is_none().then(|| root.clone());
-            (PassBackend::File { root }, temp)
+            let pb = match backend {
+                Backend::File => PassBackend::File { root },
+                Backend::FileDirect => PassBackend::FileDirect { root },
+                _ => PassBackend::Uring { root },
+            };
+            (pb, temp)
         }
     };
     println!(
@@ -386,7 +473,10 @@ fn exec_multipass(
         plan.total_blocks_read(),
         backend.label(),
     );
-    if let PassBackend::File { root } = &pass_backend {
+    if let PassBackend::File { root }
+    | PassBackend::FileDirect { root }
+    | PassBackend::Uring { root } = &pass_backend
+    {
         println!("staging under {}", root.display());
     }
 

@@ -40,7 +40,7 @@ COMMANDS:
                manifest (--from) without re-running the suite
     exec       Run a real external sort end-to-end on the execution
                engine: generate records, form runs, merge them against
-               a pluggable block-device backend, verify the output, and
+               a pluggable batched I/O queue backend, verify the output, and
                cross-check the engine against the simulator
     plan       Preview a multi-pass merge schedule: per-pass fan-in,
                groups, blocks read, and the simulator's predicted read
@@ -114,15 +114,19 @@ REPORT OPTIONS:
 
 EXEC OPTIONS (strategy flags as above; the run count comes from run
 formation, so --runs/--blocks/--trials do not apply):
-    --backend <b>       mem | file | latency             [default: mem]
-    --dir <path>        file backend: device directory (kept); default
+    --backend <b>       mem | file | file-direct | latency | uring
+                        (uring needs --features uring and a kernel with
+                        io_uring; falls back to file)   [default: mem]
+    --dir <path>        file backends: device directory (kept); default
                         is a temp directory removed afterwards
     --records <n>       records to generate and sort     [default: 50000]
     --memory <m>        run-formation memory, in records [default: 5000]
     --formation <f>     load-sort | replacement          [default: load-sort]
-    --rpb <r>           records per on-device block      [default: 40]
+    --rpb <r>           records per on-device block [default: 40; 32 on
+                        O_DIRECT backends, whose blocks must align to 512]
     --jobs <j>          I/O worker threads (0 = one per disk) [default: 0]
-    --queue <q>         per-worker request-queue depth   [default: 64]
+    --queue-depth <q>   per-disk I/O queue depth (0 = the scenario's
+                        prefetch depth; alias --queue)   [default: 0]
     --time-scale <f>    latency backend: wall-clock seconds per modeled
                         second (small values replay fast) [default: 1.0]
     --out <path>        write the merged records (16-byte LE pairs)
@@ -172,7 +176,8 @@ SERVE OPTIONS:
     --sched <s>         fifo | wfq | priority            [default: wfq]
     --cache-policy <c>  static | proportional | free     [default: static]
     --rpb <r>           records per on-device block      [default: 20]
-    --queue <q>         per-port request-queue depth     [default: 8]
+    --queue-depth <q>   per-disk I/O queue depth (0 = each tenant's
+                        prefetch depth; alias --queue)   [default: 0]
     --seed <s>          master seed                      [default: 1992]
     --manifest-out <p>  write JSONL manifest: one per-tenant \"exec\"
                         record tagged with its service terms

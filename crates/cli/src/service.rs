@@ -39,7 +39,7 @@
 use std::sync::Arc;
 
 use pm_core::{MergeConfig, PmError, ScenarioBuilder};
-use pm_engine::{ExecConfig, ExecOutcome, MemoryDevice, MergeEngine, SharedDeviceSet};
+use pm_engine::{ExecConfig, ExecOutcome, MergeEngine, SharedDeviceSet, ThreadedQueue};
 use pm_metrics::{MetricsSink, StackMetrics};
 use pm_extsort::{generate, run_formation};
 use pm_obs::json::Value;
@@ -75,7 +75,8 @@ const CONTEND_KEYS: &[&str] = &[
 ];
 
 const SERVE_KEYS: &[&str] = &[
-    "scenario-file", "sched", "cache-policy", "rpb", "queue", "seed", "manifest-out",
+    "scenario-file", "sched", "cache-policy", "rpb", "queue-depth", "queue", "seed",
+    "manifest-out",
     "metrics-out", "metrics-interval",
 ];
 
@@ -453,7 +454,13 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
     let spec = load_spec_for_serve(args)?;
     let seed: u64 = args.get_parsed("seed", 1992)?;
     let rpb: u32 = args.get_parsed("rpb", 20u32)?;
-    let queue: usize = args.get_parsed("queue", 8usize)?;
+    // Per-disk I/O queue depth (0 = each tenant's prefetch depth);
+    // "queue" is the deprecated alias.
+    let queue: usize = if args.get("queue-depth").is_some() {
+        args.get_parsed("queue-depth", 0usize)?
+    } else {
+        args.get_parsed("queue", 0usize)?
+    };
     let sched_name = args.get("sched").unwrap_or("wfq");
     let cp_name = args.get("cache-policy").unwrap_or("static");
     let sched = sched_by_name(sched_name)
@@ -509,7 +516,7 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
         cfg.seed = seeds[t];
         let mut exec = ExecConfig::new(cfg);
         exec.records_per_block = rpb;
-        exec.queue_capacity = queue;
+        exec.queue_depth = queue;
         let engine = MergeEngine::new(exec, runs.iter().map(Vec::len).collect())?;
         engines.push(engine);
         run_sets.push(runs);
@@ -526,9 +533,9 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
         SharedDeviceSet::start_with_metrics(disks, jobs.len(), sched, 1.0, metrics.clone());
     let mut threads = Vec::new();
     for (t, (engine, runs)) in engines.iter().zip(&run_sets).enumerate() {
-        let mut dev = MemoryDevice::new(disks, engine.block_bytes());
-        engine.load(&mut dev, runs)?;
-        let port = set.port(Arc::new(dev), jobs[t].priority);
+        let mut queue = ThreadedQueue::memory(disks, engine.block_bytes(), engine.queue_options());
+        engine.load(&mut queue, runs)?;
+        let port = set.port(queue.into_device(), jobs[t].priority);
         threads.push(std::thread::spawn({
             let engine = engine.clone();
             let metrics = metrics.clone();
@@ -553,9 +560,9 @@ pub fn serve(args: &Args) -> Result<(), PmError> {
     // simulator parity on its request sequences.
     let mut isolated = Vec::with_capacity(engines.len());
     for (engine, runs) in engines.iter().zip(&run_sets) {
-        let mut dev = MemoryDevice::new(disks, engine.block_bytes());
-        engine.load(&mut dev, runs)?;
-        isolated.push(engine.execute(Arc::new(dev))?);
+        let mut queue = ThreadedQueue::memory(disks, engine.block_bytes(), engine.queue_options());
+        engine.load(&mut queue, runs)?;
+        isolated.push(engine.execute(Box::new(queue))?);
     }
     for (t, ((engine, shared), alone)) in
         engines.iter().zip(&outcomes).zip(&isolated).enumerate()

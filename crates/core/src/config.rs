@@ -118,6 +118,14 @@ pub enum ConfigError {
         /// Disk capacity in blocks.
         have: u64,
     },
+    /// The block size is not a multiple of the alignment a direct-I/O
+    /// backend requires (`O_DIRECT` needs logical-block-size multiples).
+    BlockAlignment {
+        /// Configured block size in bytes (`records_per_block × 16`).
+        block_bytes: usize,
+        /// Required alignment in bytes.
+        required: usize,
+    },
     /// The merge was asked to combine more runs than the cache can fan
     /// in at once; a multi-pass plan is required.
     FanInExceeded {
@@ -144,6 +152,16 @@ impl std::fmt::Display for ConfigError {
             ConfigError::DiskTooSmall { need, have } => write!(
                 f,
                 "fullest disk needs {need} blocks but holds only {have}"
+            ),
+            ConfigError::BlockAlignment {
+                block_bytes,
+                required,
+            } => write!(
+                f,
+                "block size of {block_bytes} bytes is not a multiple of the \
+                 {required}-byte alignment direct I/O requires; choose \
+                 records_per_block so that records_per_block x 16 is a \
+                 multiple of {required} (e.g. --rpb 32 for 512 bytes)"
             ),
             ConfigError::FanInExceeded { runs, fan_in } => write!(
                 f,
@@ -373,5 +391,10 @@ mod tests {
         let e = ConfigError::FanInExceeded { runs: 64, fan_in: 8 };
         assert!(e.to_string().contains("pmerge plan"), "{e}");
         assert!(e.to_string().contains("64"));
+        // The alignment message must name the required alignment and the
+        // knob that fixes it.
+        let e = ConfigError::BlockAlignment { block_bytes: 640, required: 512 };
+        assert!(e.to_string().contains("512"), "{e}");
+        assert!(e.to_string().contains("records_per_block"), "{e}");
     }
 }

@@ -29,12 +29,35 @@ pub enum PmError {
     Tolerance(String),
     /// The command line (or a scenario file) was malformed.
     Usage(String),
+    /// A device backend ([`IoQueue`] implementation) failed while
+    /// submitting, completing, or writing block I/O.
+    Device {
+        /// Backend label (`"memory"`, `"file"`, `"latency"`, `"uring"`).
+        backend: &'static str,
+        /// What the backend was doing when it failed.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
 }
 
 impl PmError {
     /// Convenience constructor for I/O failures with a context string.
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
         PmError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for device-backend failures.
+    pub fn device(
+        backend: &'static str,
+        context: impl Into<String>,
+        source: std::io::Error,
+    ) -> Self {
+        PmError::Device {
+            backend,
             context: context.into(),
             source,
         }
@@ -47,7 +70,10 @@ impl PmError {
     pub fn exit_code(&self) -> i32 {
         match self {
             PmError::Tolerance(_) => 1,
-            PmError::Config(_) | PmError::Io { .. } | PmError::Usage(_) => 2,
+            PmError::Config(_)
+            | PmError::Io { .. }
+            | PmError::Usage(_)
+            | PmError::Device { .. } => 2,
         }
     }
 }
@@ -59,6 +85,11 @@ impl fmt::Display for PmError {
             PmError::Io { context, source } => write!(f, "{context}: {source}"),
             PmError::Tolerance(msg) => write!(f, "tolerance breached: {msg}"),
             PmError::Usage(msg) => write!(f, "{msg}"),
+            PmError::Device {
+                backend,
+                context,
+                source,
+            } => write!(f, "{backend} device: {context}: {source}"),
         }
     }
 }
@@ -67,7 +98,7 @@ impl Error for PmError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PmError::Config(e) => Some(e),
-            PmError::Io { source, .. } => Some(source),
+            PmError::Io { source, .. } | PmError::Device { source, .. } => Some(source),
             PmError::Tolerance(_) | PmError::Usage(_) => None,
         }
     }
@@ -95,6 +126,23 @@ mod tests {
             PmError::io("f", std::io::Error::other("x")).exit_code(),
             2
         );
+        assert_eq!(
+            PmError::device("uring", "submit", std::io::Error::other("x")).exit_code(),
+            2
+        );
+    }
+
+    #[test]
+    fn device_display_names_the_backend() {
+        let e = PmError::device(
+            "uring",
+            "submit batch of 8",
+            std::io::Error::other("ring full"),
+        );
+        let s = e.to_string();
+        assert!(s.contains("uring device"), "{s}");
+        assert!(s.contains("submit batch of 8"), "{s}");
+        assert!(e.source().is_some());
     }
 
     #[test]

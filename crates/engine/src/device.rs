@@ -17,12 +17,21 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
+use pm_core::{ConfigError, PmError};
 use pm_disk::{
     BlockAddr, DiskArray, DiskId, DiskRequest, DiskSpec, QueueDiscipline, ServiceBreakdown,
 };
 use pm_sim::SimTime;
+
+/// The alignment direct I/O requires of block sizes and buffers: the
+/// logical sector size `O_DIRECT` transfers must be a multiple of.
+pub const DIRECT_ALIGN: usize = 512;
+
+#[cfg(target_os = "linux")]
+const O_DIRECT: i32 = 0o040000;
 
 /// The service a [`LatencyDevice`] computed for one request.
 #[derive(Debug, Clone, Copy)]
@@ -136,6 +145,12 @@ pub struct FileDevice {
     block_bytes: usize,
     paths: Vec<PathBuf>,
     files: Vec<std::fs::File>,
+    /// Page-cache-bypassing read handles, when opened with
+    /// [`FileDevice::create_direct`].
+    direct: Option<Vec<std::fs::File>>,
+    /// Buffered writes since the last direct read: direct reads flush
+    /// them first so they never race the page cache.
+    dirty: AtomicBool,
 }
 
 impl FileDevice {
@@ -163,7 +178,71 @@ impl FileDevice {
             block_bytes,
             paths,
             files,
+            direct: None,
+            dirty: AtomicBool::new(false),
         })
+    }
+
+    /// Like [`FileDevice::create`], but reads bypass the page cache:
+    /// each disk gets a second `O_DIRECT` read handle, and read buffers
+    /// are bounced through [`DIRECT_ALIGN`]-aligned scratch memory.
+    /// Writes stay buffered (loading is setup-time work); the first
+    /// read after a write syncs the files so direct reads observe them.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::BlockAlignment`] when `block_bytes` is not a
+    /// positive multiple of [`DIRECT_ALIGN`]; otherwise any error from
+    /// creating or reopening the files.
+    #[cfg(target_os = "linux")]
+    pub fn create_direct(dir: &Path, disks: usize, block_bytes: usize) -> Result<Self, PmError> {
+        if block_bytes == 0 || !block_bytes.is_multiple_of(DIRECT_ALIGN) {
+            return Err(ConfigError::BlockAlignment {
+                block_bytes,
+                required: DIRECT_ALIGN,
+            }
+            .into());
+        }
+        let mut dev = Self::create(dir, disks, block_bytes)
+            .map_err(|e| PmError::device("file-direct", format!("creating files under {}", dir.display()), e))?;
+        let mut direct = Vec::with_capacity(disks);
+        for path in &dev.paths {
+            use std::os::unix::fs::OpenOptionsExt;
+            let file = std::fs::File::options()
+                .read(true)
+                .custom_flags(O_DIRECT)
+                .open(path)
+                .map_err(|e| {
+                    PmError::device(
+                        "file-direct",
+                        format!("opening {} with O_DIRECT", path.display()),
+                        e,
+                    )
+                })?;
+            direct.push(file);
+        }
+        dev.direct = Some(direct);
+        Ok(dev)
+    }
+
+    /// Unsupported off Linux.
+    ///
+    /// # Errors
+    ///
+    /// Always: `O_DIRECT` is Linux-only here.
+    #[cfg(not(target_os = "linux"))]
+    pub fn create_direct(_dir: &Path, _disks: usize, _block_bytes: usize) -> Result<Self, PmError> {
+        Err(PmError::device(
+            "file-direct",
+            "opening with O_DIRECT",
+            io::Error::other("O_DIRECT file device is only supported on Linux"),
+        ))
+    }
+
+    /// Whether reads bypass the page cache.
+    #[must_use]
+    pub fn is_direct(&self) -> bool {
+        self.direct.is_some()
     }
 
     /// The backing file of `disk`.
@@ -184,11 +263,30 @@ impl BlockDevice for FileDevice {
 
     fn read_block(&self, disk: DiskId, start: BlockAddr, buf: &mut [u8]) -> io::Result<()> {
         use std::os::unix::fs::FileExt;
+        let offset = start.0 * self.block_bytes as u64;
+        if let Some(direct) = &self.direct {
+            if self.dirty.swap(false, Ordering::AcqRel) {
+                for file in &self.files {
+                    file.sync_data()?;
+                }
+            }
+            let file = direct
+                .get(disk.0 as usize)
+                .ok_or_else(|| io::Error::other(format!("no such disk {}", disk.0)))?;
+            // O_DIRECT needs an aligned buffer; bounce through an
+            // over-allocated scratch vector sliced at the alignment.
+            let mut scratch = vec![0u8; self.block_bytes + DIRECT_ALIGN];
+            let align = (DIRECT_ALIGN - (scratch.as_ptr() as usize % DIRECT_ALIGN)) % DIRECT_ALIGN;
+            let aligned = &mut scratch[align..align + self.block_bytes];
+            file.read_exact_at(aligned, offset)?;
+            buf.copy_from_slice(aligned);
+            return Ok(());
+        }
         let file = self
             .files
             .get(disk.0 as usize)
             .ok_or_else(|| io::Error::other(format!("no such disk {}", disk.0)))?;
-        file.read_exact_at(buf, start.0 * self.block_bytes as u64)
+        file.read_exact_at(buf, offset)
     }
 
     fn write_block(&mut self, disk: DiskId, start: BlockAddr, data: &[u8]) -> io::Result<()> {
@@ -197,7 +295,11 @@ impl BlockDevice for FileDevice {
             .files
             .get(disk.0 as usize)
             .ok_or_else(|| io::Error::other(format!("no such disk {}", disk.0)))?;
-        file.write_all_at(data, start.0 * self.block_bytes as u64)
+        file.write_all_at(data, start.0 * self.block_bytes as u64)?;
+        if self.direct.is_some() {
+            self.dirty.store(true, Ordering::Release);
+        }
+        Ok(())
     }
 }
 

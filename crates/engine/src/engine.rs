@@ -34,9 +34,7 @@
 //! scores against the cylinder of the *last submitted* block per disk,
 //! which can diverge from the simulator's serviced-head position).
 
-use std::collections::BTreeMap;
-use std::io;
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use pm_cache::{AdmissionPolicy, BlockCache, PrefetchGroup, RunId};
@@ -52,9 +50,8 @@ use pm_sim::{SimDuration, SimRng, SimTime};
 use pm_trace::{pack_tenant_tag, unpack_tag, unpack_tenant_tag, EventKind, RecordingSink, TraceEvent, TraceSink};
 
 use crate::block::{block_bytes, decode_records, encode_records};
-use crate::device::BlockDevice;
+use crate::ioqueue::{IoCompletion, IoQueue, IoRequest, QueueOptions};
 use crate::shared::SharedPort;
-use crate::workers::{IoPool, IoPort, IoRequest};
 
 /// How to execute a merge: the scenario plus engine-only knobs.
 #[derive(Debug, Clone, Copy)]
@@ -64,9 +61,11 @@ pub struct ExecConfig {
     pub merge: MergeConfig,
     /// Records per on-device block.
     pub records_per_block: u32,
-    /// Bounded request-queue capacity per I/O worker (backpressure on
-    /// the merge thread).
-    pub queue_capacity: usize,
+    /// Per-disk I/O queue depth: how many requests may be outstanding
+    /// on one disk before submission blocks (ring depth on io_uring).
+    /// `0` negotiates the scenario's prefetch depth — the deepest
+    /// backlog the merge's issue discipline creates per disk.
+    pub queue_depth: usize,
     /// I/O worker threads (`0` = one per disk; more than one disk may
     /// share a worker when smaller, preserving per-disk FIFO order).
     pub jobs: usize,
@@ -76,14 +75,15 @@ pub struct ExecConfig {
 }
 
 impl ExecConfig {
-    /// Engine defaults around a scenario: 40-record blocks, 64-deep
-    /// worker queues, one worker per disk, unscaled time.
+    /// Engine defaults around a scenario: 40-record blocks, queue depth
+    /// negotiated from the prefetch depth, one worker per disk,
+    /// unscaled time.
     #[must_use]
     pub fn new(merge: MergeConfig) -> Self {
         ExecConfig {
             merge,
             records_per_block: 40,
-            queue_capacity: 64,
+            queue_depth: 0,
             jobs: 0,
             time_scale: 1.0,
         }
@@ -258,14 +258,35 @@ impl MergeEngine {
         block_bytes(self.cfg.records_per_block)
     }
 
-    /// Writes `runs` onto `device` at the positions the layout assigns
-    /// (the same placement the simulator assumes).
+    /// The [`QueueOptions`] this plan negotiates for its I/O queue:
+    /// the configured depth (or, at the `0` sentinel, the scenario's
+    /// prefetch depth), worker count, and time scale.
+    #[must_use]
+    pub fn queue_options(&self) -> QueueOptions {
+        QueueOptions {
+            depth: if self.cfg.queue_depth == 0 {
+                self.merge.strategy.depth().max(1) as usize
+            } else {
+                self.cfg.queue_depth
+            },
+            jobs: self.cfg.jobs,
+            time_scale: self.cfg.time_scale,
+        }
+    }
+
+    /// Writes `runs` into `queue` at the positions the layout assigns
+    /// (the same placement the simulator assumes). Load before
+    /// executing: queues treat writes as setup-only.
     ///
     /// # Errors
     ///
-    /// [`PmError::Usage`] on a shape mismatch, [`PmError::Io`] on a
+    /// [`PmError::Usage`] on a shape mismatch, [`PmError::Device`] on a
     /// failed write.
-    pub fn load<D: BlockDevice>(&self, device: &mut D, runs: &[Vec<Record>]) -> Result<(), PmError> {
+    pub fn load<Q: IoQueue + ?Sized>(
+        &self,
+        queue: &mut Q,
+        runs: &[Vec<Record>],
+    ) -> Result<(), PmError> {
         if runs.len() != self.run_records.len()
             || runs
                 .iter()
@@ -276,17 +297,17 @@ impl MergeEngine {
                 "run data does not match the planned run lengths".into(),
             ));
         }
-        if device.disks() < self.merge.disks as usize {
+        if queue.disks() < self.merge.disks as usize {
             return Err(PmError::Usage(format!(
                 "device has {} disks, scenario needs {}",
-                device.disks(),
+                queue.disks(),
                 self.merge.disks
             )));
         }
-        if device.block_bytes() != self.block_bytes() {
+        if queue.block_bytes() != self.block_bytes() {
             return Err(PmError::Usage(format!(
                 "device block size {} != planned {}",
-                device.block_bytes(),
+                queue.block_bytes(),
                 self.block_bytes()
             )));
         }
@@ -297,37 +318,46 @@ impl MergeEngine {
             for (index, chunk) in run.chunks(rpb).enumerate() {
                 let (disk, start) = self.layout.location(run_id, index as u32);
                 encode_records(chunk, &mut buf);
-                device.write_block(disk, start, &buf).map_err(|e| {
-                    PmError::io(format!("write run {r} block {index} to disk {}", disk.0), e)
+                queue.write_block(disk, start, &buf).map_err(|e| {
+                    PmError::device(
+                        queue.backend(),
+                        format!("write run {r} block {index} to disk {}", disk.0),
+                        e,
+                    )
                 })?;
             }
         }
         Ok(())
     }
 
-    /// Executes the merge against a loaded device.
+    /// Executes the merge against a loaded queue: opens it, drives the
+    /// merge through batched submit/complete, and shuts it down.
     ///
     /// # Errors
     ///
-    /// [`PmError::Io`] if a block read fails or a worker dies.
+    /// [`PmError::Device`] if a block read fails or the queue's
+    /// transport dies.
     ///
     /// # Panics
     ///
     /// Panics if an internal invariant breaks (mirroring the
     /// simulator's own invariant assertions).
-    pub fn execute(&self, device: Arc<dyn BlockDevice>) -> Result<ExecOutcome, PmError> {
-        self.execute_metered(device, &NullMetrics)
+    pub fn execute(&self, queue: Box<dyn IoQueue>) -> Result<ExecOutcome, PmError> {
+        self.execute_metered(queue, &NullMetrics)
     }
 
     /// [`MergeEngine::execute`] with a metrics sink: every block arrival
     /// records per-disk service time, queue wait (submit to service
-    /// start) and bytes read into `metrics`. With
-    /// [`pm_metrics::NullMetrics`] the recording compiles away and the
-    /// run is identical to [`MergeEngine::execute`].
+    /// start) and bytes read into `metrics`; every submission batch and
+    /// completion reap records its size, and per-disk in-flight depth is
+    /// sampled at both transitions. With [`pm_metrics::NullMetrics`] the
+    /// recording compiles away and the run is identical to
+    /// [`MergeEngine::execute`].
     ///
     /// # Errors
     ///
-    /// [`PmError::Io`] if a block read fails or a worker dies.
+    /// [`PmError::Device`] if a block read fails or the queue's
+    /// transport dies.
     ///
     /// # Panics
     ///
@@ -335,20 +365,21 @@ impl MergeEngine {
     /// simulator's own invariant assertions).
     pub fn execute_metered<M: MetricsSink>(
         &self,
-        device: Arc<dyn BlockDevice>,
+        mut queue: Box<dyn IoQueue>,
         metrics: &M,
     ) -> Result<ExecOutcome, PmError> {
-        let d = self.merge.disks as usize;
+        if queue.disks() < self.merge.disks as usize {
+            return Err(PmError::Usage(format!(
+                "queue has {} disks, scenario needs {}",
+                queue.disks(),
+                self.merge.disks
+            )));
+        }
         let epoch = Instant::now();
-        let pool = IoPool::start(
-            device,
-            d,
-            self.cfg.jobs,
-            self.cfg.queue_capacity,
-            self.cfg.time_scale,
-            epoch,
-        );
-        let mut state = ExecState::new(self, Box::new(pool), 0, epoch, metrics);
+        queue
+            .open(epoch)
+            .map_err(|e| PmError::device(queue.backend(), "opening the queue", e))?;
+        let mut state = ExecState::new(self, queue, 0, epoch, metrics);
         state.run()
     }
 
@@ -398,7 +429,11 @@ impl MergeEngine {
             )));
         }
         let tenant = port.tenant();
-        let mut state = ExecState::new(self, Box::new(port), tenant, Instant::now(), metrics);
+        let mut port: Box<dyn IoQueue> = Box::new(port);
+        let epoch = Instant::now();
+        port.open(epoch)
+            .map_err(|e| PmError::device("shared", "opening the port", e))?;
+        let mut state = ExecState::new(self, port, tenant, epoch, metrics);
         state.run()
     }
 
@@ -453,7 +488,19 @@ const DEAD: usize = usize::MAX;
 
 struct ExecState<'a, M: MetricsSink> {
     plan: &'a MergeEngine,
-    port: Box<dyn IoPort>,
+    port: Box<dyn IoQueue>,
+    /// The queue's backend label, for error context.
+    backend: &'static str,
+    /// Requests staged since the last flush: one decision point's issues
+    /// go to the queue as a single batch.
+    stage: Vec<IoRequest>,
+    /// Completions reaped but not yet processed (batched reaping hands
+    /// back more than one at a time).
+    pending: VecDeque<IoCompletion>,
+    /// Scratch buffer for [`IoQueue::complete`].
+    reap_buf: Vec<IoCompletion>,
+    /// In-flight requests per disk (queue-depth gauge).
+    inflight: Vec<u64>,
     /// Tenant id stamped into trace tags (0 for dedicated runs).
     tenant: u16,
     metrics: &'a M,
@@ -488,11 +535,12 @@ struct ExecState<'a, M: MetricsSink> {
 impl<'a, M: MetricsSink> ExecState<'a, M> {
     fn new(
         plan: &'a MergeEngine,
-        port: Box<dyn IoPort>,
+        port: Box<dyn IoQueue>,
         tenant: u16,
         epoch: Instant,
         metrics: &'a M,
     ) -> Self {
+        let backend = port.backend();
         let merge = &plan.merge;
         let d = merge.disks as usize;
         let k = merge.runs as usize;
@@ -518,6 +566,11 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
         ExecState {
             plan,
             port,
+            backend,
+            stage: Vec::new(),
+            pending: VecDeque::new(),
+            reap_buf: Vec::new(),
+            inflight: vec![0; d],
             tenant,
             metrics,
             epoch,
@@ -597,7 +650,9 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
         assert_eq!(self.cache.total_resident(), 0, "blocks left undepleted");
         assert_eq!(output.len(), total_records);
 
-        self.port.finish();
+        self.port
+            .shutdown()
+            .map_err(|e| PmError::device(self.backend, "shutting down the queue", e))?;
         let mut events = std::mem::replace(&mut self.sink, RecordingSink::unbounded()).into_events();
         events.sort_by_key(|e| e.at);
         let report = ExecReport {
@@ -641,6 +696,7 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
             self.submit_blocks(run, 0, batch);
             issued += u64::from(batch);
         }
+        self.flush_submissions()?;
         match merge.sync {
             SyncMode::Synchronized => {
                 for _ in 0..issued {
@@ -688,7 +744,7 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
         }
         if self.cache.held(j) == 0 {
             debug_assert!(self.runs[j.0 as usize].next_fetch < total);
-            self.issue_demand(j);
+            self.issue_demand(j)?;
         } else if self.cache.resident(j) == 0 {
             debug_assert_eq!(self.plan.merge.sync, SyncMode::Unsynchronized);
             self.gate = Some(Gate::Block { run: j });
@@ -698,7 +754,7 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
     }
 
     /// Mirrors the simulator's demand-fetch issue, including the gate.
-    fn issue_demand(&mut self, j: RunId) {
+    fn issue_demand(&mut self, j: RunId) -> Result<(), PmError> {
         self.demand_ops += 1;
         let depth = self.current_depth;
         let progress = self.runs[j.0 as usize];
@@ -727,6 +783,37 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
             },
             SyncMode::Unsynchronized => Gate::Block { run: j },
         });
+        self.flush_submissions()
+    }
+
+    /// Hands everything staged since the last flush to the queue as one
+    /// batch (one decision point = one submission batch), recording
+    /// per-disk batch sizes and in-flight depth when metered.
+    fn flush_submissions(&mut self) -> Result<(), PmError> {
+        if self.stage.is_empty() {
+            return Ok(());
+        }
+        for r in &self.stage {
+            self.inflight[r.req.disk.0 as usize] += 1;
+        }
+        if M::ENABLED {
+            let mut counts = vec![0u64; self.inflight.len()];
+            for r in &self.stage {
+                counts[r.req.disk.0 as usize] += 1;
+            }
+            for (d, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    self.metrics.io_submit_batch(d, n);
+                    self.metrics.disk_queue_depth(d, self.inflight[d] as f64);
+                }
+            }
+        }
+        let n = self.stage.len();
+        self.port.submit(&self.stage).map_err(|e| {
+            PmError::device(self.backend, format!("submitting a batch of {n} reads"), e)
+        })?;
+        self.stage.clear();
+        Ok(())
     }
 
     /// Mirrors the simulator's combined inter-run operation: the demand
@@ -833,8 +920,8 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
         }
     }
 
-    /// Submits `count` single-block requests and advances the fetch
-    /// pointer (frames must already be reserved).
+    /// Stages `count` single-block requests for the next flush and
+    /// advances the fetch pointer (frames must already be reserved).
     fn submit_blocks(&mut self, run: RunId, start_index: u32, count: u32) {
         debug_assert!(count >= 1);
         let stride = self.plan.layout.same_disk_stride();
@@ -857,7 +944,7 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
             self.per_disk_requests[d] += 1;
             self.request_log[d].push((run.0, index));
             self.head_cyl[d] = self.plan.merge.disk_spec.geometry.cylinder_of(start);
-            self.port.submit(IoRequest {
+            self.stage.push(IoRequest {
                 req: DiskRequest {
                     disk,
                     start,
@@ -921,22 +1008,36 @@ impl<'a, M: MetricsSink> ExecState<'a, M> {
         }
     }
 
-    /// Blocks for one completion and processes it; returns the run whose
-    /// block arrived.
+    /// Takes the next completion (reaping a batch from the queue when
+    /// none is pending) and processes it; returns the run whose block
+    /// arrived.
     fn await_arrival(&mut self) -> Result<RunId, PmError> {
-        let waiting = Instant::now();
-        let completion = self.port.recv().ok_or_else(|| {
-            PmError::io(
-                "engine",
-                io::Error::other("I/O workers exited with requests outstanding"),
-            )
-        })?;
-        self.stall += waiting.elapsed();
+        let completion = match self.pending.pop_front() {
+            Some(c) => c,
+            None => {
+                let waiting = Instant::now();
+                debug_assert!(self.reap_buf.is_empty());
+                let n = self
+                    .port
+                    .complete(&mut self.reap_buf, 1)
+                    .map_err(|e| PmError::device(self.backend, "waiting for completions", e))?;
+                self.stall += waiting.elapsed();
+                if M::ENABLED {
+                    self.metrics.io_reap_batch(n as u64);
+                }
+                self.pending.extend(self.reap_buf.drain(..));
+                self.pending.pop_front().expect("complete(_, 1) returned 0")
+            }
+        };
         let (_, run, index) = unpack_tenant_tag(completion.tag);
         let d = completion.disk as usize;
+        self.inflight[d] = self.inflight[d].saturating_sub(1);
+        if M::ENABLED {
+            self.metrics.disk_queue_depth(d, self.inflight[d] as f64);
+        }
         let data = completion
             .data
-            .map_err(|e| PmError::io(format!("read run {run} block {index}"), e))?;
+            .map_err(|e| PmError::device(self.backend, format!("read run {run} block {index}"), e))?;
         let started = SimTime::ZERO + SimDuration::from_nanos(completion.started_ns);
         let finished = SimTime::ZERO + SimDuration::from_nanos(completion.finished_ns);
         if M::ENABLED {

@@ -28,7 +28,6 @@
 //! interrupted execution leaves no partial output file.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
 use std::time::Duration;
 
 use pm_core::{MergeConfig, PmError, ScenarioBuilder};
@@ -38,8 +37,9 @@ use pm_metrics::{MetricsSink, NullMetrics};
 use pm_sim::{SimDuration, SimTime};
 use pm_trace::{EventKind, TraceEvent};
 
-use crate::device::{FileDevice, LatencyDevice, MemoryDevice};
 use crate::engine::{disk_seed_for, ExecConfig, MergeEngine};
+use crate::ioqueue::IoQueue;
+use crate::workers::ThreadedQueue;
 
 /// Which device family every pass of a multi-pass execution runs on.
 #[derive(Debug, Clone)]
@@ -55,6 +55,21 @@ pub enum PassBackend {
     /// In-memory data with the modeled per-request service time
     /// injected, for predicted-vs-executed cross-checks.
     Latency,
+    /// File-backed staging read back through `O_DIRECT` handles (same
+    /// lifecycle as [`PassBackend::File`]; Linux, 512-byte-aligned
+    /// blocks).
+    FileDirect {
+        /// Directory that holds the per-pass staging subdirectories.
+        root: PathBuf,
+    },
+    /// io_uring over `O_DIRECT` disk files staged under `root` (same
+    /// lifecycle as [`PassBackend::File`]). Requires the `uring` crate
+    /// feature and a kernel with io_uring; callers should probe with
+    /// `uring_available()` first.
+    Uring {
+        /// Directory that holds the per-pass staging subdirectories.
+        root: PathBuf,
+    },
 }
 
 /// Engine knobs shared by every pass (the per-pass merge scenario is
@@ -64,8 +79,8 @@ pub struct MultiPassOptions {
     /// Records per block (fixed across passes so intermediate runs
     /// re-encode cleanly).
     pub records_per_block: u32,
-    /// Bounded depth of each disk worker's request queue.
-    pub queue_capacity: usize,
+    /// Per-disk I/O queue depth (`0` = each pass's prefetch depth).
+    pub queue_depth: usize,
     /// I/O worker threads (0 = one per disk).
     pub jobs: usize,
     /// Wall-clock scale for injected latency sleeps.
@@ -77,7 +92,7 @@ impl Default for MultiPassOptions {
         let d = ExecConfig::new(placeholder_config());
         MultiPassOptions {
             records_per_block: d.records_per_block,
-            queue_capacity: d.queue_capacity,
+            queue_depth: d.queue_depth,
             jobs: d.jobs,
             time_scale: d.time_scale,
         }
@@ -315,7 +330,9 @@ impl<'p> MultiPassExecutor<'p> {
         // swept first, then every pass stages under a token no
         // concurrent executor shares.
         let staging = match &self.backend {
-            PassBackend::File { root } => {
+            PassBackend::File { root }
+            | PassBackend::FileDirect { root }
+            | PassBackend::Uring { root } => {
                 clean_stale_passes(root)?;
                 Some(root.join(exec_token()))
             }
@@ -392,49 +409,64 @@ impl<'p> MultiPassExecutor<'p> {
                 )?;
                 let mut exec = ExecConfig::new(cfg);
                 exec.records_per_block = self.opts.records_per_block;
-                exec.queue_capacity = self.opts.queue_capacity;
+                exec.queue_depth = self.opts.queue_depth;
                 exec.jobs = self.opts.jobs;
                 exec.time_scale = self.opts.time_scale;
                 let engine =
                     MergeEngine::new(exec, inputs.iter().map(Vec::len).collect())?;
                 let cfg = *engine.merge_config();
                 let disks = cfg.disks as usize;
-                let outcome = match &self.backend {
+                let opts = engine.queue_options();
+                let mut queue: Box<dyn IoQueue> = match &self.backend {
                     PassBackend::Memory => {
-                        let mut dev = MemoryDevice::new(disks, engine.block_bytes());
-                        engine.load(&mut dev, &inputs)?;
-                        engine.execute_metered(Arc::new(dev), metrics)?
+                        Box::new(ThreadedQueue::memory(disks, engine.block_bytes(), opts))
                     }
                     PassBackend::File { .. } => {
-                        let dir = staging
-                            .as_ref()
-                            .expect("file backend has a staging token")
-                            .join(format!("pass-{p:02}"))
-                            .join(format!("group-{g:02}"));
-                        let mut dev =
-                            FileDevice::create(&dir, disks, engine.block_bytes())
+                        let dir = group_dir(staging, "file", p, g)?;
+                        Box::new(
+                            ThreadedQueue::file(&dir, disks, engine.block_bytes(), opts)
                                 .map_err(|e| {
-                                    PmError::io(
-                                        format!("creating {}", dir.display()),
-                                        e,
-                                    )
-                                })?;
-                        engine.load(&mut dev, &inputs)?;
-                        engine.execute_metered(Arc::new(dev), metrics)?
+                                    PmError::io(format!("creating {}", dir.display()), e)
+                                })?,
+                        )
                     }
-                    PassBackend::Latency => {
-                        let mut inner = MemoryDevice::new(disks, engine.block_bytes());
-                        engine.load(&mut inner, &inputs)?;
-                        let dev = LatencyDevice::new(
-                            inner,
+                    PassBackend::FileDirect { .. } => {
+                        let dir = group_dir(staging, "file-direct", p, g)?;
+                        Box::new(ThreadedQueue::file_direct(
+                            &dir,
                             disks,
-                            cfg.disk_spec,
-                            cfg.discipline,
-                            disk_seed_for(&cfg),
-                        );
-                        engine.execute_metered(Arc::new(dev), metrics)?
+                            engine.block_bytes(),
+                            opts,
+                        )?)
+                    }
+                    PassBackend::Latency => Box::new(ThreadedQueue::latency(
+                        disks,
+                        engine.block_bytes(),
+                        cfg.disk_spec,
+                        cfg.discipline,
+                        disk_seed_for(&cfg),
+                        opts,
+                    )),
+                    #[cfg(feature = "uring")]
+                    PassBackend::Uring { .. } => {
+                        let dir = group_dir(staging, "uring", p, g)?;
+                        Box::new(crate::uring::UringQueue::create(
+                            &dir,
+                            disks,
+                            engine.block_bytes(),
+                            opts.depth,
+                        )?)
+                    }
+                    #[cfg(not(feature = "uring"))]
+                    PassBackend::Uring { .. } => {
+                        return Err(PmError::Usage(
+                            "the uring backend requires building with --features uring"
+                                .into(),
+                        ))
                     }
                 };
+                engine.load(&mut *queue, &inputs)?;
+                let outcome = engine.execute_metered(queue, metrics)?;
                 let prediction = engine.predict(&outcome.depletion)?;
                 if outcome.requests != prediction.requests {
                     return Err(PmError::Tolerance(format!(
@@ -517,6 +549,22 @@ impl<'p> MultiPassExecutor<'p> {
 
 fn wall_as_sim(wall: Duration) -> SimDuration {
     SimDuration::from_nanos(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// The staging directory for pass `p`, group `g` of a file-family
+/// backend (which always carries a staging token).
+fn group_dir(
+    staging: &Option<PathBuf>,
+    backend: &str,
+    p: usize,
+    g: usize,
+) -> Result<PathBuf, PmError> {
+    staging
+        .as_ref()
+        .map(|s| s.join(format!("pass-{p:02}")).join(format!("group-{g:02}")))
+        .ok_or_else(|| {
+            PmError::Usage(format!("the {backend} backend requires a staging root"))
+        })
 }
 
 #[cfg(test)]

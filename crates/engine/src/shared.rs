@@ -26,15 +26,18 @@
 //! [`crate::MergeEngine::predict`] parity holds per job no matter how
 //! the shared disks interleave them.
 
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use pm_disk::{BlockAddr, DiskId};
 use pm_metrics::{MetricsSink, StackMetrics};
 use pm_service::{IoSched, PendingIo};
 
 use crate::device::BlockDevice;
-use crate::workers::{service_one, Channel, IoCompletion, IoPort, IoRequest};
+use crate::ioqueue::{IoCompletion, IoQueue, IoRequest};
+use crate::workers::{service_one, Channel};
 
 /// One queued request: what services it and where the completion goes
 /// (the scheduler's view lives in the parallel `ios` vector).
@@ -185,10 +188,8 @@ impl SharedPort {
     pub fn tenant(&self) -> u16 {
         self.tenant as u16
     }
-}
 
-impl IoPort for SharedPort {
-    fn submit(&mut self, req: IoRequest) {
+    fn submit_one(&mut self, req: IoRequest) {
         let d = req.req.disk.0 as usize;
         let io = PendingIo {
             tenant: self.tenant,
@@ -214,15 +215,72 @@ impl IoPort for SharedPort {
             .enqueued(d, &io);
         cond.notify_one();
     }
+}
 
-    fn recv(&mut self) -> Option<IoCompletion> {
-        self.done.pop()
+impl IoQueue for SharedPort {
+    fn backend(&self) -> &'static str {
+        "shared"
     }
 
-    fn finish(&mut self) {
+    fn block_bytes(&self) -> usize {
+        self.device.block_bytes()
+    }
+
+    fn disks(&self) -> usize {
+        self.device.disks()
+    }
+
+    fn depth(&self) -> usize {
+        // The set's scheduler queue is unbounded per disk.
+        0
+    }
+
+    fn write_block(&mut self, _disk: DiskId, _start: BlockAddr, _data: &[u8]) -> io::Result<()> {
+        Err(io::Error::other(
+            "shared ports are read-only; load the device before registering it with the set",
+        ))
+    }
+
+    fn open(&mut self, _epoch: Instant) -> io::Result<()> {
+        // The set's workers are already running; their timestamps are
+        // anchored to the set's epoch, shared by every tenant.
+        Ok(())
+    }
+
+    fn submit(&mut self, reqs: &[IoRequest]) -> io::Result<()> {
+        for &req in reqs {
+            self.submit_one(req);
+        }
+        Ok(())
+    }
+
+    fn complete(&mut self, out: &mut Vec<IoCompletion>, min_wait: usize) -> io::Result<usize> {
+        let mut n = 0;
+        while n < min_wait {
+            match self.done.pop() {
+                Some(c) => {
+                    out.push(c);
+                    n += 1;
+                }
+                None => {
+                    return Err(io::Error::other(
+                        "shared device set shut down with requests outstanding",
+                    ))
+                }
+            }
+        }
+        while let Some(c) = self.done.try_pop() {
+            out.push(c);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn shutdown(&mut self) -> io::Result<()> {
         // The workers belong to the set; only this job's completion
         // channel closes.
         self.done.close();
+        Ok(())
     }
 }
 
@@ -257,7 +315,7 @@ fn disk_worker(inner: &SharedInner, d: usize, time_scale: f64, epoch: Instant) {
             }
             q.entries.swap_remove(idx)
         };
-        let completion = service_one(&entry.device, &mut free_at, entry.req, time_scale, epoch);
+        let completion = service_one(&*entry.device, &mut free_at, entry.req, time_scale, epoch);
         entry.done.push(completion);
     }
 }

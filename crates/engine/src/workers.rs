@@ -1,63 +1,26 @@
-//! Per-disk I/O worker threads.
+//! [`ThreadedQueue`]: the worker-thread [`IoQueue`] over any
+//! [`BlockDevice`].
 //!
 //! Each worker owns one bounded FIFO request queue and services one or
 //! more disks (`disk → disk mod workers`); with the default of one
 //! worker per disk every disk has a dedicated thread, exactly one
 //! request in service at a time, and per-disk FIFO order. Submission
 //! blocks when the worker's queue is full (bounded-queue backpressure
-//! on the merge thread); completions flow back over one unbounded queue
-//! the merge thread drains.
+//! on the merge thread, sized by [`QueueOptions::depth`]); completions
+//! flow back over one unbounded queue the merge thread reaps in
+//! batches.
 
 use std::collections::VecDeque;
 use std::io;
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use pm_disk::DiskRequest;
+use pm_core::PmError;
+use pm_disk::{BlockAddr, DiskId, DiskRequest, DiskSpec, QueueDiscipline};
 
-use crate::device::{BlockDevice, InjectedService};
-
-/// One read request in flight to a worker.
-pub(crate) struct IoRequest {
-    pub req: DiskRequest,
-    /// Per-disk monotone span id (ties trace issue events to completions).
-    pub span: u64,
-    /// When the merge thread submitted the request (queue-wait metrics).
-    pub submitted: Instant,
-}
-
-/// A serviced request on its way back to the merge thread.
-pub(crate) struct IoCompletion {
-    pub disk: u16,
-    pub tag: u64,
-    pub span: u64,
-    /// The request's `sequential_hint` (echoed for accounting).
-    pub hint: bool,
-    /// The modeled service, when the backend injects latency.
-    pub injected: Option<InjectedService>,
-    /// Submission instant, nanoseconds since the engine epoch
-    /// (`started_ns - submitted_ns` is the request's queue wait).
-    pub submitted_ns: u64,
-    /// Service start/end, nanoseconds since the engine epoch.
-    pub started_ns: u64,
-    pub finished_ns: u64,
-    pub data: io::Result<Vec<u8>>,
-}
-
-/// Where an executing merge sends its reads and receives its blocks.
-///
-/// Two implementations: [`IoPool`] (a dedicated per-run worker pool —
-/// `finish` tears it down) and `shared::SharedPort` (one job's lane into
-/// a [`crate::SharedDeviceSet`] — `finish` leaves the shared workers
-/// running for the other jobs).
-pub(crate) trait IoPort: Send {
-    /// Submits a read; may block on backpressure.
-    fn submit(&mut self, req: IoRequest);
-    /// Blocks for this run's next completion; `None` if service died.
-    fn recv(&mut self) -> Option<IoCompletion>;
-    /// The run is over: release whatever the port holds.
-    fn finish(&mut self);
-}
+use crate::device::{BlockDevice, FileDevice, LatencyDevice, MemoryDevice};
+use crate::ioqueue::{IoCompletion, IoQueue, IoRequest, QueueOptions};
 
 struct ChannelInner<T> {
     items: VecDeque<T>,
@@ -113,6 +76,16 @@ impl<T> Channel<T> {
         }
     }
 
+    /// Takes an item only if one is already available.
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("channel poisoned");
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
     pub(crate) fn close(&self) {
         let mut inner = self.inner.lock().expect("channel poisoned");
         inner.closed = true;
@@ -121,90 +94,221 @@ impl<T> Channel<T> {
     }
 }
 
-/// The worker pool: `min(jobs, disks)` threads (or one per disk when
-/// `jobs == 0`), each with its own bounded request queue.
-pub(crate) struct IoPool {
+struct Running {
     queues: Vec<Arc<Channel<IoRequest>>>,
     completions: Arc<Channel<IoCompletion>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl IoPool {
-    pub fn start(
-        device: Arc<dyn BlockDevice>,
+/// The threaded [`IoQueue`]: `min(jobs, disks)` worker threads (or one
+/// per disk when `jobs == 0`) over any [`BlockDevice`], each worker with
+/// its own request queue bounded to [`QueueOptions::depth`] entries.
+pub struct ThreadedQueue {
+    device: Arc<dyn BlockDevice>,
+    label: &'static str,
+    opts: QueueOptions,
+    running: Option<Running>,
+}
+
+impl ThreadedQueue {
+    /// Wraps an arbitrary device under the given backend label.
+    #[must_use]
+    pub fn over(device: Arc<dyn BlockDevice>, label: &'static str, opts: QueueOptions) -> Self {
+        ThreadedQueue {
+            device,
+            label,
+            opts,
+            running: None,
+        }
+    }
+
+    /// An in-memory backend (`disks` RAM arrays).
+    #[must_use]
+    pub fn memory(disks: usize, block_bytes: usize, opts: QueueOptions) -> Self {
+        Self::over(Arc::new(MemoryDevice::new(disks, block_bytes)), "memory", opts)
+    }
+
+    /// A buffered-file backend: one file per disk under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn file(dir: &Path, disks: usize, block_bytes: usize, opts: QueueOptions) -> io::Result<Self> {
+        Ok(Self::over(
+            Arc::new(FileDevice::create(dir, disks, block_bytes)?),
+            "file",
+            opts,
+        ))
+    }
+
+    /// A file backend whose reads bypass the page cache (`O_DIRECT`).
+    ///
+    /// # Errors
+    ///
+    /// [`PmError::Config`] when `block_bytes` violates the
+    /// [`crate::DIRECT_ALIGN`] alignment `O_DIRECT` requires, or the
+    /// underlying file-creation failure.
+    pub fn file_direct(
+        dir: &Path,
         disks: usize,
-        jobs: usize,
-        queue_capacity: usize,
-        time_scale: f64,
-        epoch: Instant,
+        block_bytes: usize,
+        opts: QueueOptions,
+    ) -> Result<Self, PmError> {
+        Ok(Self::over(
+            Arc::new(FileDevice::create_direct(dir, disks, block_bytes)?),
+            "file-direct",
+            opts,
+        ))
+    }
+
+    /// An in-memory backend wrapped in the [`LatencyDevice`] service
+    /// model (seed with [`crate::disk_seed_for`] for simulator parity).
+    #[must_use]
+    pub fn latency(
+        disks: usize,
+        block_bytes: usize,
+        spec: DiskSpec,
+        discipline: QueueDiscipline,
+        disk_seed: u64,
+        opts: QueueOptions,
     ) -> Self {
+        let inner = MemoryDevice::new(disks, block_bytes);
+        Self::over(
+            Arc::new(LatencyDevice::new(inner, disks, spec, discipline, disk_seed)),
+            "latency",
+            opts,
+        )
+    }
+
+    /// Tears the workers down (if open) and hands back the device —
+    /// e.g. to register a loaded device with a
+    /// [`crate::SharedDeviceSet`].
+    #[must_use]
+    pub fn into_device(mut self) -> Arc<dyn BlockDevice> {
+        let _ = IoQueue::shutdown(&mut self);
+        Arc::clone(&self.device)
+    }
+}
+
+impl IoQueue for ThreadedQueue {
+    fn backend(&self) -> &'static str {
+        self.label
+    }
+
+    fn block_bytes(&self) -> usize {
+        self.device.block_bytes()
+    }
+
+    fn disks(&self) -> usize {
+        self.device.disks()
+    }
+
+    fn depth(&self) -> usize {
+        self.opts.depth.max(1)
+    }
+
+    fn write_block(&mut self, disk: DiskId, start: BlockAddr, data: &[u8]) -> io::Result<()> {
+        if self.running.is_some() {
+            return Err(io::Error::other(
+                "writes are setup-only: load the queue before open()",
+            ));
+        }
+        let device = Arc::get_mut(&mut self.device)
+            .ok_or_else(|| io::Error::other("device is shared; load it before sharing"))?;
+        device.write_block(disk, start, data)
+    }
+
+    fn open(&mut self, epoch: Instant) -> io::Result<()> {
+        if self.running.is_some() {
+            return Ok(());
+        }
+        let disks = self.device.disks();
+        let jobs = self.opts.jobs;
         let workers = if jobs == 0 { disks } else { jobs.min(disks) }.max(1);
+        let capacity = self.opts.depth.max(1);
+        let time_scale = self.opts.time_scale;
         let completions = Arc::new(Channel::new(usize::MAX));
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            queues.push(Arc::new(Channel::new(queue_capacity.max(1))));
+            queues.push(Arc::new(Channel::new(capacity)));
         }
         for queue in &queues {
             let queue = Arc::clone(queue);
             let completions = Arc::clone(&completions);
-            let device = Arc::clone(&device);
+            let device = Arc::clone(&self.device);
             handles.push(std::thread::spawn(move || {
-                worker_loop(&device, &queue, &completions, disks, time_scale, epoch);
+                worker_loop(&*device, &queue, &completions, disks, time_scale, epoch);
             }));
         }
-        IoPool {
+        self.running = Some(Running {
             queues,
             completions,
             handles,
-        }
+        });
+        Ok(())
     }
 
-    /// Routes the request to its disk's worker; blocks on a full queue.
-    pub fn submit(&self, req: IoRequest) {
-        let worker = req.req.disk.0 as usize % self.queues.len();
-        self.queues[worker].push(req);
+    fn submit(&mut self, reqs: &[IoRequest]) -> io::Result<()> {
+        let running = self
+            .running
+            .as_ref()
+            .ok_or_else(|| io::Error::other("queue not opened"))?;
+        for &req in reqs {
+            let worker = req.req.disk.0 as usize % running.queues.len();
+            running.queues[worker].push(req);
+        }
+        Ok(())
     }
 
-    /// Blocks for the next completion; `None` if every worker exited.
-    pub fn recv(&self) -> Option<IoCompletion> {
-        self.completions.pop()
+    fn complete(&mut self, out: &mut Vec<IoCompletion>, min_wait: usize) -> io::Result<usize> {
+        let running = self
+            .running
+            .as_ref()
+            .ok_or_else(|| io::Error::other("queue not opened"))?;
+        let mut n = 0;
+        while n < min_wait {
+            match running.completions.pop() {
+                Some(c) => {
+                    out.push(c);
+                    n += 1;
+                }
+                None => {
+                    return Err(io::Error::other(
+                        "I/O workers exited with requests outstanding",
+                    ))
+                }
+            }
+        }
+        while let Some(c) = running.completions.try_pop() {
+            out.push(c);
+            n += 1;
+        }
+        Ok(n)
     }
 
-    /// Closes the request queues and joins the workers.
-    pub fn shutdown(&mut self) {
-        for q in &self.queues {
-            q.close();
+    fn shutdown(&mut self) -> io::Result<()> {
+        if let Some(running) = self.running.take() {
+            for q in &running.queues {
+                q.close();
+            }
+            for handle in running.handles {
+                let _ = handle.join();
+            }
+            running.completions.close();
         }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-        self.completions.close();
+        Ok(())
     }
 }
 
-impl IoPort for IoPool {
-    fn submit(&mut self, req: IoRequest) {
-        IoPool::submit(self, req);
-    }
-
-    fn recv(&mut self) -> Option<IoCompletion> {
-        IoPool::recv(self)
-    }
-
-    fn finish(&mut self) {
-        self.shutdown();
-    }
-}
-
-impl Drop for IoPool {
+impl Drop for ThreadedQueue {
     fn drop(&mut self) {
-        self.shutdown();
+        let _ = IoQueue::shutdown(self);
     }
 }
 
 fn worker_loop(
-    device: &Arc<dyn BlockDevice>,
+    device: &dyn BlockDevice,
     queue: &Channel<IoRequest>,
     completions: &Channel<IoCompletion>,
     disks: usize,
@@ -224,10 +328,11 @@ fn worker_loop(
 
 /// Services one request synchronously: real read plus (when the backend
 /// injects latency) the modeled service time slept out against the
-/// disk's anchored deadline. Shared by the per-run worker pool and the
-/// multi-job shared device set, so both faces time requests identically.
+/// disk's anchored deadline. Shared by the threaded queue, the depth-1
+/// compat shim, and the multi-job shared device set, so every face
+/// times requests identically.
 pub(crate) fn service_one(
-    device: &Arc<dyn BlockDevice>,
+    device: &dyn BlockDevice,
     free_at: &mut Instant,
     io: IoRequest,
     time_scale: f64,
@@ -268,11 +373,11 @@ pub(crate) fn service_one(
     }
 }
 
-fn read(device: &Arc<dyn BlockDevice>, req: &DiskRequest, buf: &mut [u8]) -> io::Result<()> {
+fn read(device: &dyn BlockDevice, req: &DiskRequest, buf: &mut [u8]) -> io::Result<()> {
     device.read_block(req.disk, req.start, buf)
 }
 
-fn since(epoch: Instant, at: Instant) -> u64 {
+pub(crate) fn since(epoch: Instant, at: Instant) -> u64 {
     at.saturating_duration_since(epoch).as_nanos() as u64
 }
 

@@ -11,7 +11,10 @@ mod common;
 
 use pm_core::{AdmissionPolicy, DataLayout, MergeConfig, PrefetchChoice, ScenarioBuilder};
 
-use common::{assert_sorted_output, engine_for, form_runs, run_file, run_memory};
+use common::{
+    assert_sorted_output, engine_custom, engine_for, form_runs, run_file, run_file_direct,
+    run_memory, RPB_ALIGNED,
+};
 
 /// The scenario matrix: strategy × admission × choice × layout × sync
 /// coverage, all small enough to execute in-memory in milliseconds.
@@ -107,6 +110,52 @@ fn memory_and_file_backends_agree_across_jobs() {
                 assert_eq!(
                     a.per_disk_requests, b.per_disk_requests,
                     "{name}/{backend}/jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn queue_depth_and_backend_leave_decisions_invariant() {
+    // Queue depth (the per-disk inflight bound) moves completion
+    // *timing*, never merge decisions: across depths {1,4,32}, jobs
+    // {1,4}, and the threaded backends (memory, buffered file, O_DIRECT
+    // file), the output, per-disk request sequences, and depletion order
+    // must all match a depth-1 single-worker baseline, and the simulator
+    // must re-derive every per-disk request sequence from the depletion
+    // alone.
+    let runs = form_runs(3000, 400, 29);
+    let cfg = ScenarioBuilder::new(8, 3).inter(4).seed(51).build().unwrap();
+    let disks = cfg.disks as usize;
+    let baseline = {
+        let engine = engine_custom(cfg, &runs, 1, 1, RPB_ALIGNED);
+        run_memory(&engine, &runs, disks)
+    };
+    assert_sorted_output(&baseline, &runs);
+    for depth in [1usize, 4, 32] {
+        for jobs in [1usize, 4] {
+            let engine = engine_custom(cfg, &runs, jobs, depth, RPB_ALIGNED);
+            let outcomes = [
+                ("memory", run_memory(&engine, &runs, disks)),
+                ("file", run_file(&engine, &runs, disks)),
+                ("file-direct", run_file_direct(&engine, &runs, disks)),
+            ];
+            for (backend, outcome) in &outcomes {
+                let tag = format!("{backend}/depth={depth}/jobs={jobs}");
+                assert_eq!(outcome.output, baseline.output, "{tag}: output diverged");
+                assert_eq!(
+                    outcome.requests, baseline.requests,
+                    "{tag}: per-disk request sequences diverged"
+                );
+                assert_eq!(
+                    outcome.depletion, baseline.depletion,
+                    "{tag}: depletion order diverged"
+                );
+                let prediction = engine.predict(&outcome.depletion).expect("predict");
+                assert_eq!(
+                    prediction.requests, outcome.requests,
+                    "{tag}: simulator replay diverged"
                 );
             }
         }

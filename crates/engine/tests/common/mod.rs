@@ -4,14 +4,17 @@
 #![allow(dead_code)]
 
 use std::path::PathBuf;
-use std::sync::Arc;
 
 use pm_core::MergeConfig;
-use pm_engine::{ExecConfig, ExecOutcome, FileDevice, MemoryDevice, MergeEngine};
+use pm_engine::{ExecConfig, ExecOutcome, MergeEngine, ThreadedQueue};
 use pm_extsort::{generate, run_formation, Record};
 
 /// Records per on-device block the tests use throughout.
 pub const RPB: u32 = 20;
+
+/// Records per block for `O_DIRECT` backends (32 × 16 B = 512 B, the
+/// direct-I/O alignment unit).
+pub const RPB_ALIGNED: u32 = 32;
 
 /// Generates `total` uniform records and forms sorted runs of up to
 /// `memory` records each (the pm-extsort run-formation path the real
@@ -28,29 +31,56 @@ pub fn reference(runs: &[Vec<Record>]) -> Vec<Record> {
     all
 }
 
-/// Plans an engine over `runs` for `cfg` with the test block factor.
+/// Plans an engine over `runs` for `cfg` with the test block factor and
+/// a negotiated queue depth.
 pub fn engine_for(cfg: MergeConfig, runs: &[Vec<Record>], jobs: usize) -> MergeEngine {
+    engine_custom(cfg, runs, jobs, 0, RPB)
+}
+
+/// [`engine_for`] with explicit queue depth and block factor (the
+/// depth/backend parity sweeps and the O_DIRECT paths need both).
+pub fn engine_custom(
+    cfg: MergeConfig,
+    runs: &[Vec<Record>],
+    jobs: usize,
+    depth: usize,
+    rpb: u32,
+) -> MergeEngine {
     let mut exec = ExecConfig::new(cfg);
-    exec.records_per_block = RPB;
-    exec.queue_capacity = 8;
+    exec.records_per_block = rpb;
+    exec.queue_depth = depth;
     exec.jobs = jobs;
     MergeEngine::new(exec, runs.iter().map(Vec::len).collect()).expect("plan")
 }
 
 /// Loads + executes on the in-memory backend.
 pub fn run_memory(engine: &MergeEngine, runs: &[Vec<Record>], disks: usize) -> ExecOutcome {
-    let mut dev = MemoryDevice::new(disks, engine.block_bytes());
-    engine.load(&mut dev, runs).expect("load");
-    engine.execute(Arc::new(dev)).expect("execute")
+    let mut queue = ThreadedQueue::memory(disks, engine.block_bytes(), engine.queue_options());
+    engine.load(&mut queue, runs).expect("load");
+    engine.execute(Box::new(queue)).expect("execute")
 }
 
 /// Loads + executes on the file backend under a fresh temp directory,
 /// removing it afterwards.
 pub fn run_file(engine: &MergeEngine, runs: &[Vec<Record>], disks: usize) -> ExecOutcome {
     let dir = unique_dir();
-    let mut dev = FileDevice::create(&dir, disks, engine.block_bytes()).expect("create files");
-    engine.load(&mut dev, runs).expect("load");
-    let outcome = engine.execute(Arc::new(dev)).expect("execute");
+    let mut queue = ThreadedQueue::file(&dir, disks, engine.block_bytes(), engine.queue_options())
+        .expect("create files");
+    engine.load(&mut queue, runs).expect("load");
+    let outcome = engine.execute(Box::new(queue)).expect("execute");
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
+/// Loads + executes on the `O_DIRECT` file backend (the engine must be
+/// planned with [`RPB_ALIGNED`]), removing the directory afterwards.
+pub fn run_file_direct(engine: &MergeEngine, runs: &[Vec<Record>], disks: usize) -> ExecOutcome {
+    let dir = unique_dir();
+    let mut queue =
+        ThreadedQueue::file_direct(&dir, disks, engine.block_bytes(), engine.queue_options())
+            .expect("create O_DIRECT files");
+    engine.load(&mut queue, runs).expect("load");
+    let outcome = engine.execute(Box::new(queue)).expect("execute");
     let _ = std::fs::remove_dir_all(&dir);
     outcome
 }

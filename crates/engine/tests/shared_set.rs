@@ -10,10 +10,8 @@
 
 mod common;
 
-use std::sync::Arc;
-
 use pm_core::ScenarioBuilder;
-use pm_engine::{ExecOutcome, MemoryDevice, MergeEngine, SharedDeviceSet};
+use pm_engine::{ExecOutcome, MergeEngine, SharedDeviceSet, ThreadedQueue};
 use pm_extsort::Record;
 use pm_service::sched_by_name;
 
@@ -40,9 +38,9 @@ fn run_shared(sched: &str) -> Vec<ExecOutcome> {
     let mut set = SharedDeviceSet::start(3, jobs.len(), sched_by_name(sched).unwrap(), 1.0);
     let mut threads = Vec::new();
     for (i, (engine, runs)) in jobs.into_iter().enumerate() {
-        let mut dev = MemoryDevice::new(3, engine.block_bytes());
-        engine.load(&mut dev, &runs).expect("load");
-        let port = set.port(Arc::new(dev), 1 + i as u32);
+        let mut queue = ThreadedQueue::memory(3, engine.block_bytes(), engine.queue_options());
+        engine.load(&mut queue, &runs).expect("load");
+        let port = set.port(queue.into_device(), 1 + i as u32);
         threads.push(std::thread::spawn(move || {
             let outcome = engine.execute_shared(port).expect("shared execute");
             (engine, runs, outcome)

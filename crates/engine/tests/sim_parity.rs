@@ -11,12 +11,10 @@
 
 mod common;
 
-use std::sync::Arc;
-
 use pm_core::{
     AdmissionPolicy, MergeConfig, PrefetchChoice, QueueDiscipline, ScenarioBuilder,
 };
-use pm_engine::{disk_seed_for, LatencyDevice, MemoryDevice};
+use pm_engine::{disk_seed_for, ThreadedQueue};
 
 use common::{engine_for, form_runs, run_memory};
 
@@ -96,16 +94,16 @@ fn latency_backend_matches_modeled_service_exactly() {
         )
         .unwrap();
         let disks = cfg.disks as usize;
-        let mut inner = MemoryDevice::new(disks, engine.block_bytes());
-        engine.load(&mut inner, &runs).expect("load");
-        let device = LatencyDevice::new(
-            inner,
+        let mut queue = ThreadedQueue::latency(
             disks,
+            engine.block_bytes(),
             cfg.disk_spec,
             QueueDiscipline::Fifo,
             disk_seed_for(&cfg),
+            engine.queue_options(),
         );
-        let outcome = engine.execute(Arc::new(device)).expect("execute");
+        engine.load(&mut queue, &runs).expect("load");
+        let outcome = engine.execute(Box::new(queue)).expect("execute");
         let prediction = engine.predict(&outcome.depletion).expect("predict");
 
         assert_eq!(outcome.requests, prediction.requests, "{name}");
@@ -134,16 +132,16 @@ fn latency_backend_wall_clock_tracks_prediction() {
     let mut exec = *engine.exec_config();
     exec.time_scale = 0.25;
     let engine = pm_engine::MergeEngine::new(exec, runs.iter().map(Vec::len).collect()).unwrap();
-    let mut inner = MemoryDevice::new(2, engine.block_bytes());
-    engine.load(&mut inner, &runs).expect("load");
-    let device = LatencyDevice::new(
-        inner,
+    let mut queue = ThreadedQueue::latency(
         2,
+        engine.block_bytes(),
         cfg.disk_spec,
         QueueDiscipline::Fifo,
         disk_seed_for(&cfg),
+        engine.queue_options(),
     );
-    let outcome = engine.execute(Arc::new(device)).expect("execute");
+    engine.load(&mut queue, &runs).expect("load");
+    let outcome = engine.execute(Box::new(queue)).expect("execute");
     let prediction = engine.predict(&outcome.depletion).expect("predict");
     let measured = outcome.report.wall.as_secs_f64() / exec.time_scale;
     let predicted = prediction.report.total.as_secs_f64();

@@ -37,6 +37,16 @@ pub trait MetricsSink: Send + Sync {
         let _ = (disk, depth);
     }
 
+    /// One submission batch of `n` requests handed to `disk`'s queue.
+    fn io_submit_batch(&self, disk: usize, n: u64) {
+        let _ = (disk, n);
+    }
+
+    /// One completion reap returned `n` requests across all disks.
+    fn io_reap_batch(&self, n: u64) {
+        let _ = n;
+    }
+
     /// Cache blocks granted to `tenant` at admission.
     fn tenant_grant(&self, tenant: usize, blocks: u64) {
         let _ = (tenant, blocks);
@@ -105,6 +115,16 @@ impl<M: MetricsSink> MetricsSink for &M {
     }
 
     #[inline]
+    fn io_submit_batch(&self, disk: usize, n: u64) {
+        (**self).io_submit_batch(disk, n);
+    }
+
+    #[inline]
+    fn io_reap_batch(&self, n: u64) {
+        (**self).io_reap_batch(n);
+    }
+
+    #[inline]
     fn tenant_grant(&self, tenant: usize, blocks: u64) {
         (**self).tenant_grant(tenant, blocks);
     }
@@ -156,6 +176,8 @@ mod tests {
         let m = NullMetrics;
         m.disk_io(0, 4096, 0.001, 0.002);
         m.disk_queue_depth(0, 3.0);
+        m.io_submit_batch(0, 8);
+        m.io_reap_batch(3);
         m.tenant_grant(0, 100);
         m.tenant_blocks(0, 1);
         m.tenant_wait(0, 0.01);

@@ -30,12 +30,20 @@ pub fn duration_buckets() -> Vec<f64> {
     exponential_buckets(1e-5, 4.0, 10)
 }
 
+/// Batch-size histogram layout: 1, 2, 4, … 128, then `+Inf` — spans a
+/// depth-1 compat shim through the deepest supported ring (depth 128).
+#[must_use]
+pub fn batch_buckets() -> Vec<f64> {
+    exponential_buckets(1.0, 2.0, 8)
+}
+
 struct DiskCell {
     requests: Arc<Counter>,
     bytes: Arc<Counter>,
     depth: Arc<Gauge>,
     service: Arc<Histogram>,
     wait: Arc<Histogram>,
+    submit_batch: Arc<Histogram>,
 }
 
 struct TenantCell {
@@ -53,6 +61,7 @@ pub struct StackMetrics {
     registry: Registry,
     disks: Vec<DiskCell>,
     tenants: Vec<TenantCell>,
+    reap_batch: Arc<Histogram>,
     pass_blocks: Arc<Family<Counter>>,
     pass_records: Arc<Family<Counter>>,
     trial_count: Arc<Family<Counter>>,
@@ -114,6 +123,21 @@ impl StackMetrics {
             "Per-request wait before service began, per disk.",
             Arc::clone(&wait),
         );
+        let submit_batch: Arc<Family<Histogram>> = Arc::new(Family::new_with_constructor(
+            &["disk"],
+            || Histogram::new(&batch_buckets()),
+        ));
+        registry.register(
+            "pm_io_submit_batch_size",
+            "Requests per submission batch handed to the disk's queue.",
+            Arc::clone(&submit_batch),
+        );
+        let reap_batch = Arc::new(Histogram::new(&batch_buckets()));
+        registry.register(
+            "pm_io_reap_batch_size",
+            "Completions returned per reap across all disks.",
+            Arc::clone(&reap_batch),
+        );
         let disk_cells = (0..disks)
             .map(|d| {
                 let label = d.to_string();
@@ -123,6 +147,7 @@ impl StackMetrics {
                     depth: depth.get_or_create(&[&label]),
                     service: service.get_or_create(&[&label]),
                     wait: wait.get_or_create(&[&label]),
+                    submit_batch: submit_batch.get_or_create(&[&label]),
                 }
             })
             .collect();
@@ -220,6 +245,7 @@ impl StackMetrics {
             registry,
             disks: disk_cells,
             tenants: tenant_cells,
+            reap_batch,
             pass_blocks,
             pass_records,
             trial_count,
@@ -290,6 +316,16 @@ impl MetricsSink for StackMetrics {
         }
     }
 
+    fn io_submit_batch(&self, disk: usize, n: u64) {
+        if let Some(c) = self.disks.get(disk) {
+            c.submit_batch.observe(n as f64);
+        }
+    }
+
+    fn io_reap_batch(&self, n: u64) {
+        self.reap_batch.observe(n as f64);
+    }
+
     fn tenant_grant(&self, tenant: usize, blocks: u64) {
         if let Some(t) = self.tenants.get(tenant) {
             t.grant.set(blocks as f64);
@@ -353,6 +389,8 @@ mod tests {
         m.disk_io(0, 4096, 0.001, 0.002);
         m.disk_io(1, 4096, 0.0, 0.004);
         m.disk_queue_depth(1, 3.0);
+        m.io_submit_batch(0, 4);
+        m.io_reap_batch(2);
         m.tenant_grant(0, 128);
         m.tenant_blocks(1, 7);
         m.tenant_wait(0, 0.01);
@@ -368,6 +406,8 @@ mod tests {
         assert!(text.contains("pm_tenant_cache_grant_blocks{tenant=\"alice\"} 128\n"), "{text}");
         assert!(text.contains("pm_tenant_slowdown{tenant=\"bob\"} 1.8\n"), "{text}");
         assert!(text.contains("pm_pass_blocks_read_total{pass=\"1\"} 100\n"), "{text}");
+        assert!(text.contains("pm_io_submit_batch_size_count{disk=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("pm_io_reap_batch_size_count 1\n"), "{text}");
         assert!(text.contains("pm_sim_trials_total{strategy=\"inter\"} 1\n"), "{text}");
     }
 

@@ -18,12 +18,11 @@
 //! output.
 
 use std::path::PathBuf;
-use std::sync::Arc;
 
 use pm_core::ScenarioBuilder;
 use pm_engine::{
-    clean_stale_passes, ExecConfig, MemoryDevice, MergeEngine, MultiPassExecutor,
-    MultiPassOptions, PassBackend,
+    clean_stale_passes, ExecConfig, MergeEngine, MultiPassExecutor, MultiPassOptions,
+    PassBackend, ThreadedQueue,
 };
 use pm_extsort::plan::{min_passes, plan_merge_tree, PlanPolicy};
 use pm_extsort::{generate, run_formation, Record};
@@ -56,7 +55,7 @@ fn run_blocks(runs: &[Vec<Record>]) -> Vec<u32> {
 fn opts(jobs: usize, time_scale: f64) -> MultiPassOptions {
     MultiPassOptions {
         records_per_block: RPB,
-        queue_capacity: 8,
+        queue_depth: 0,
         jobs,
         time_scale,
     }
@@ -80,11 +79,14 @@ fn single_pass_reference(runs: &[Vec<Record>]) -> Vec<Record> {
         .unwrap();
     let mut exec = ExecConfig::new(cfg);
     exec.records_per_block = RPB;
-    exec.queue_capacity = 8;
     let engine = MergeEngine::new(exec, runs.iter().map(Vec::len).collect()).unwrap();
-    let mut dev = MemoryDevice::new(cfg.disks as usize, engine.block_bytes());
-    engine.load(&mut dev, runs).unwrap();
-    engine.execute(Arc::new(dev)).unwrap().output
+    let mut queue = ThreadedQueue::memory(
+        cfg.disks as usize,
+        engine.block_bytes(),
+        engine.queue_options(),
+    );
+    engine.load(&mut queue, runs).unwrap();
+    engine.execute(Box::new(queue)).unwrap().output
 }
 
 #[test]
